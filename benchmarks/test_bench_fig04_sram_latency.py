@@ -1,0 +1,15 @@
+"""Figure 4: SRAM access latency does not scale with capacity."""
+
+from repro.experiments import figures
+
+
+def test_bench_fig04_sram_latency(benchmark):
+    report = benchmark(figures.fig4_sram_latency)
+    print("\n" + report.render())
+    series = report.column("normalised_latency")
+    # Monotone growth, starting at the 16KiB reference point.
+    assert series[0] == 1.0
+    assert series == sorted(series)
+    # The paper's argument: MB-scale SRAM is an order of magnitude
+    # slower — "naively increasing the SRAM capacity does not scale".
+    assert series[-1] > 10.0

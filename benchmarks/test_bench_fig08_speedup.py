@@ -1,0 +1,32 @@
+"""Figure 8: the headline result — POM-TLB vs Shared_L2 vs TSB.
+
+Shape targets from the paper (Section 4.1): POM-TLB wins on the mean
+(9.57% vs 6.10% Shared_L2 vs 4.27% TSB), with the largest gains on
+high-overhead workloads (mcf, soplex, GemsFDTD, astar, gups) and almost
+nothing on streamcluster (2.11% headroom).
+"""
+
+from repro.experiments import figures
+
+
+def test_bench_fig08_speedup(benchmark, runner):
+    report = benchmark.pedantic(
+        figures.fig8_performance, args=(runner,), rounds=1, iterations=1)
+    print("\n" + report.render())
+    geomean = report.row("geomean")
+    pom_mean, shared_mean, tsb_mean = geomean[1], geomean[2], geomean[3]
+    # Ordering: the POM-TLB beats both prior schemes on the mean.
+    assert pom_mean > shared_mean
+    assert pom_mean > tsb_mean
+    assert pom_mean > 3.0  # a solid average win, paper: ~10%
+    # Per-benchmark shape: POM-TLB never loses badly anywhere.
+    # streamcluster is the known near-zero-headroom case (2.11%
+    # overhead, a handful of steady-state misses): its estimate is
+    # noise around zero, so it gets a wider band.
+    pom_column = dict(zip(report.column("benchmark"), report.column("pom")))
+    assert all(v > -2.0 for b, v in pom_column.items()
+               if b not in ("geomean", "streamcluster"))
+    assert -6.0 < pom_column["streamcluster"] < 3.0
+    # The high-overhead workloads show strong gains.
+    strong = [pom_column[b] for b in ("mcf", "soplex", "astar", "gups")]
+    assert sum(1 for v in strong if v > 6.0) >= 3

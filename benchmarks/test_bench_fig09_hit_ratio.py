@@ -1,0 +1,25 @@
+"""Figure 9: where POM-TLB entries are found (L2D$ / L3D$ / POM).
+
+Shape targets: the caches + POM-TLB together capture the overwhelming
+majority of L2 TLB misses (the paper eliminates ~99% of page walks), and
+the POM structure itself has a high set-probe hit rate.
+"""
+
+from repro.core.perfmodel import geometric_mean
+from repro.experiments import figures
+
+
+def test_bench_fig09_hit_ratio(benchmark, runner):
+    report = benchmark.pedantic(
+        figures.fig9_hit_ratio, args=(runner,), rounds=1, iterations=1)
+    print("\n" + report.render())
+    eliminated = [row[4] for row in report.rows]
+    pom_hits = [row[3] for row in report.rows]
+    # Nearly all page walks eliminated (paper: 99% at 16MB).
+    assert sum(eliminated) / len(eliminated) > 0.9
+    # The POM structure itself rarely misses once warm.
+    assert sum(pom_hits) / len(pom_hits) > 0.85
+    # Cache hit ratios are valid probabilities and the L3D$ catches most
+    # of what the L2D$ misses.
+    for _name, l2d, l3d, _pom, _elim in report.rows:
+        assert 0.0 <= l2d <= 1.0 and 0.0 <= l3d <= 1.0

@@ -1,0 +1,22 @@
+"""Figure 10: page-size and cache-bypass predictor accuracy.
+
+Shape targets: the size predictor is highly accurate (paper: 95%
+average); the bypass predictor is markedly less reliable (paper: 45.8%
+average) but excellent on streaming workloads (bwaves, lbm, libquantum).
+"""
+
+from repro.experiments import figures
+
+
+def test_bench_fig10_predictors(benchmark, runner):
+    report = benchmark.pedantic(
+        figures.fig10_predictors, args=(runner,), rounds=1, iterations=1)
+    print("\n" + report.render())
+    rows = {row[0]: (row[1], row[2]) for row in report.rows}
+    size_acc = [s for s, _b in rows.values() if s > 0]
+    # Size prediction is near-paper-accurate on average.
+    assert sum(size_acc) / len(size_acc) > 0.85
+    # The streaming workloads give the bypass predictor an easy time.
+    easy = [rows[b][1] for b in ("lbm", "libquantum") if rows[b][1] > 0]
+    for accuracy in easy:
+        assert accuracy > 0.7

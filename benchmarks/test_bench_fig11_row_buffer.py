@@ -1,0 +1,24 @@
+"""Figure 11: row-buffer hit rate in the POM-TLB's stacked DRAM.
+
+Shape target: workloads whose miss streams have spatial locality
+(streaming scans) enjoy high row-buffer hit rates; scattered-access
+workloads sit much lower.  The paper reports a 71% average with
+streamcluster near the top.
+"""
+
+from repro.experiments import figures
+
+
+def test_bench_fig11_row_buffer(benchmark, runner):
+    report = benchmark.pedantic(
+        figures.fig11_row_buffer, args=(runner,), rounds=1, iterations=1)
+    print("\n" + report.render())
+    rates = dict(zip(report.column("benchmark"),
+                     report.column("row_buffer_hit_rate")))
+    assert all(0.0 <= v <= 1.0 for v in rates.values())
+    # Spatial-locality shape: sequential scans beat random access.
+    streaming = [rates[b] for b in ("lbm", "libquantum", "streamcluster")
+                 if rates[b] > 0]
+    scattered = rates["gups"]
+    if streaming:
+        assert max(streaming) > scattered

@@ -1,0 +1,20 @@
+"""Benchmarks regenerating Table 1 and Table 2."""
+
+from repro.experiments import tables
+
+
+def test_bench_table1(benchmark):
+    report = benchmark(tables.table1)
+    print("\n" + report.render())
+    values = report.column("value")
+    assert any("16MiB" in str(v) for v in values)   # POM-TLB capacity
+    assert any("11-11-11" in str(v) for v in values)  # stacked timings
+
+
+def test_bench_table2(benchmark):
+    report = benchmark(tables.table2)
+    print("\n" + report.render())
+    assert len(report.rows) == 15
+    # Spot-check the anchors against the paper.
+    assert report.row("ccomponent")[4] == 1158
+    assert report.row("gups")[2] == 17.20

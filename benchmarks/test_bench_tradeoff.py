@@ -1,0 +1,19 @@
+"""Section 2.2 trade-off bench: L4 data cache vs L3 TLB.
+
+Shape target: on most benchmarks the 16 MB saves more cycles as a very
+large TLB than as another data-cache level — the paper's core argument
+for spending the capacity on translations.
+"""
+
+from repro.experiments import tradeoff
+from repro.experiments.campaign import SENSITIVITY_BENCHMARKS
+
+
+def test_bench_tradeoff_l4_vs_tlb(benchmark, runner):
+    report = benchmark.pedantic(
+        tradeoff.tradeoff_l4_vs_tlb,
+        args=(runner, SENSITIVITY_BENCHMARKS), rounds=1, iterations=1)
+    print("\n" + report.render())
+    winners = report.column("winner")
+    pom_wins = sum(1 for w in winners if w == "pom_tlb")
+    assert pom_wins >= len(winners) // 2 + 1  # TLB use wins the majority

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""POM-TLB capacity and SRAM-scaling sweeps (Figure 4 + Section 4.6).
+
+Part 1 prints the CACTI-like SRAM latency curve: why simply growing the
+L2 TLB's SRAM array is a dead end.
+Part 2 sweeps the POM-TLB over 4-32 MiB on two benchmarks and shows the
+paper's Section 4.6 finding: beyond a modest size, capacity stops
+mattering because the structure already holds every translation.
+
+Run:  python examples/capacity_sweep.py
+"""
+
+import dataclasses
+
+from repro.common import addr
+from repro.experiments.runner import ExperimentParams, SuiteRunner
+from repro.tlb import latency as sram_latency
+
+BENCHMARKS = ("mcf", "gups")
+CAPACITIES_MB = (4, 8, 16, 32)
+
+
+def main() -> None:
+    print("Part 1 — SRAM latency vs capacity (normalised to 16 KiB):")
+    for capacity, value in sram_latency.capacity_sweep():
+        bar = "#" * round(value * 2)
+        print(f"  {addr.pretty_size(capacity):>7s} {value:6.2f}x {bar}")
+    print("  -> a 16 MiB SRAM TLB would be ~25x slower to access;"
+          " DRAM capacity with cacheable entries is the way out.\n")
+
+    print("Part 2 — POM-TLB capacity sweep (anchored improvement %):")
+    params = ExperimentParams(num_cores=2, refs_per_core=4000, scale=0.25,
+                              seed=17)
+    runner = SuiteRunner(params)
+    header = "  capacity " + "".join(f"{b:>10s}" for b in BENCHMARKS)
+    print(header)
+    for capacity in CAPACITIES_MB:
+        swept = dataclasses.replace(params,
+                                    pom_size_bytes=capacity * addr.MiB)
+        cells = []
+        for name in BENCHMARKS:
+            run = runner.run(name, "pom", swept)
+            cells.append(f"{run.improvement_percent:9.1f}%")
+        print(f"  {capacity:5d}MiB " + "".join(cells))
+    print("  -> the curve flattens once the working set fits "
+          "(the paper reports <1% change between 8 and 32 MiB).")
+
+
+if __name__ == "__main__":
+    main()

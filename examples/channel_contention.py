@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Why the POM-TLB deserves its own DRAM channel (paper Section 2.2).
+
+Translation requests are blocking — the core stalls until the PFN comes
+back — so queueing them behind data bursts would erase the POM-TLB's
+latency win.  This example drives the command-level FR-FCFS scheduler
+with data traffic of increasing density and shows the TLB stream's mean
+latency on a shared channel vs a dedicated one, as an ASCII bar chart.
+
+Run:  python examples/channel_contention.py
+"""
+
+from repro.experiments.contention import channel_contention
+
+
+def main() -> None:
+    report = channel_contention(data_intervals=(128, 96, 64, 48, 32, 24))
+    print(report.render())
+    print()
+    print(report.render_bars("slowdown", width=30))
+    print("\nbars show shared-channel slowdown relative to the dedicated "
+          "channel: queueing grows without bound as data traffic\n"
+          "approaches channel saturation, while the dedicated channel's "
+          "latency never moves — the JEDEC multi-channel HBM layout\n"
+          "the paper assumes makes the isolation free.")
+
+
+if __name__ == "__main__":
+    main()

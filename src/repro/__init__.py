@@ -1,0 +1,37 @@
+"""POM-TLB: a very large part-of-memory TLB (ISCA 2017 reproduction).
+
+Public API highlights
+---------------------
+- :class:`repro.SystemConfig` — Table 1 system parameters.
+- :class:`repro.Machine` — the full multicore simulator (pick a scheme:
+  ``baseline`` / ``pom`` / ``pom_skewed`` / ``shared_l2`` / ``tsb``).
+- :func:`repro.get_profile` / :data:`repro.BENCHMARKS` — the Table 2
+  workload suite.
+- :func:`repro.estimate` — the Eq. 2-5 anchored performance model.
+- :class:`repro.experiments.SuiteRunner` — drivers regenerating every
+  paper figure and table (also via the ``pomtlb`` CLI).
+"""
+
+from .common import SystemConfig
+from .core import (
+    BaselineAnchor,
+    Machine,
+    PerformanceEstimate,
+    SimulationResult,
+    estimate,
+)
+from .workloads import BENCHMARKS, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "BaselineAnchor",
+    "Machine",
+    "PerformanceEstimate",
+    "SimulationResult",
+    "SystemConfig",
+    "__version__",
+    "estimate",
+    "get_profile",
+]

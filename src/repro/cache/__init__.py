@@ -1,0 +1,26 @@
+"""Set-associative data caches and the chip's cache hierarchy."""
+
+from .cache import DATA, TLB, SetAssociativeCache
+from .dram_cache import DramCacheAccess, DramDataCache
+from .hierarchy import CacheHierarchy
+from .replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "DATA",
+    "TLB",
+    "CacheHierarchy",
+    "DramCacheAccess",
+    "DramDataCache",
+    "FifoPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "make_policy",
+]

@@ -1,0 +1,142 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    pomtlb list
+    pomtlb table2
+    pomtlb fig8 --benchmarks mcf,gups --cores 2 --scale 0.2
+    pomtlb campaign --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (ablations, campaign, consolidation, contention,
+                          details, figures, tables, tradeoff)
+from .experiments.runner import ExperimentParams, SuiteRunner
+from .workloads.suite import BENCHMARKS
+
+#: Experiments addressable from the command line.  Static entries take
+#: no simulation; dynamic ones run the suite through a SuiteRunner.
+_STATIC = {
+    "table1": lambda: tables.table1(),
+    "table2": lambda: tables.table2(),
+    "fig1": lambda: figures.fig1_walk_steps(),
+    "fig4": lambda: figures.fig4_sram_latency(),
+    "contention": lambda: contention.channel_contention(),
+}
+
+_DYNAMIC = {
+    "fig2": figures.fig2_translation_cycles,
+    "fig3": figures.fig3_virt_native_ratio,
+    "fig8": figures.fig8_performance,
+    "fig9": figures.fig9_hit_ratio,
+    "fig10": figures.fig10_predictors,
+    "fig11": figures.fig11_row_buffer,
+    "fig12": figures.fig12_caching_ablation,
+    "capacity": figures.sensitivity_capacity,
+    "cores": figures.sensitivity_cores,
+    "ablation-priority": ablations.ablation_tlb_priority,
+    "ablation-predictor": ablations.ablation_predictor,
+    "ablation-bypass": ablations.ablation_bypass,
+    "tradeoff": tradeoff.tradeoff_l4_vs_tlb,
+    "ablation-skewed": ablations.ablation_skewed,
+    "ablation-prefetch": ablations.ablation_prefetch,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pomtlb",
+        description="POM-TLB (ISCA 2017) reproduction: regenerate paper "
+                    "tables and figures from simulation.")
+    parser.add_argument("experiment",
+                        choices=sorted(_STATIC) + sorted(_DYNAMIC)
+                        + ["campaign", "consolidation", "details", "list"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated subset (default: all 15)")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="core count (default: 8 or $POMTLB_CORES)")
+    parser.add_argument("--refs", type=int, default=None,
+                        help="measured references per core")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="footprint scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload seed")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    parser.add_argument("--bars", metavar="COLUMN", default="",
+                        help="render an ASCII bar chart of COLUMN instead "
+                             "of the table")
+    parser.add_argument("--output", default="",
+                        help="write the report here instead of stdout")
+    return parser
+
+
+def _params_from_args(args: argparse.Namespace) -> ExperimentParams:
+    overrides = {}
+    if args.cores is not None:
+        overrides["num_cores"] = args.cores
+    if args.refs is not None:
+        overrides["refs_per_core"] = args.refs
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return ExperimentParams.from_env(**overrides)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("static:  ", ", ".join(sorted(_STATIC)))
+        print("dynamic: ", ", ".join(sorted(_DYNAMIC)), "+ campaign")
+        print("benchmarks:", ", ".join(BENCHMARKS))
+        return 0
+
+    benchmarks = [b for b in args.benchmarks.split(",") if b]
+    for name in benchmarks:
+        if name not in BENCHMARKS:
+            print(f"unknown benchmark {name!r}; see 'pomtlb list'",
+                  file=sys.stderr)
+            return 2
+
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.experiment == "campaign":
+            campaign.run_all(_params_from_args(args), benchmarks, out=out)
+        else:
+            if args.experiment in _STATIC:
+                report = _STATIC[args.experiment]()
+            elif args.experiment == "details":
+                if len(benchmarks) != 1:
+                    print("details needs exactly one --benchmarks entry",
+                          file=sys.stderr)
+                    return 2
+                runner = SuiteRunner(_params_from_args(args))
+                report = details.benchmark_details(runner, benchmarks[0])
+            elif args.experiment == "consolidation":
+                report = consolidation.consolidation_study(
+                    _params_from_args(args),
+                    benchmarks or consolidation.DEFAULT_MIX)
+            else:
+                runner = SuiteRunner(_params_from_args(args))
+                report = _DYNAMIC[args.experiment](runner, benchmarks)
+            if args.json:
+                out.write(report.to_json() + "\n")
+            elif args.bars:
+                out.write(report.render_bars(args.bars) + "\n")
+            else:
+                out.write(report.render() + "\n")
+    finally:
+        if args.output:
+            out.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

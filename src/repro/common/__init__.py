@@ -1,0 +1,47 @@
+"""Shared primitives: addresses, configuration, statistics, RNG, errors."""
+
+from . import addr
+from .config import (
+    CacheConfig,
+    DramTimingConfig,
+    MmuConfig,
+    PomTlbConfig,
+    PredictorConfig,
+    SharedL2Config,
+    SystemConfig,
+    TlbConfig,
+    TsbConfig,
+    WalkCacheConfig,
+    ddr4_timing,
+    stacked_dram_timing,
+)
+from .errors import AddressError, ConfigError, ReproError, TraceFormatError, TranslationFault
+from .rng import ZipfSampler, make_rng, shuffled_ranks, weighted_choice
+from .stats import StatGroup, StatRegistry
+
+__all__ = [
+    "addr",
+    "AddressError",
+    "CacheConfig",
+    "ConfigError",
+    "DramTimingConfig",
+    "MmuConfig",
+    "PomTlbConfig",
+    "PredictorConfig",
+    "ReproError",
+    "SharedL2Config",
+    "StatGroup",
+    "StatRegistry",
+    "SystemConfig",
+    "TlbConfig",
+    "TraceFormatError",
+    "TranslationFault",
+    "TsbConfig",
+    "WalkCacheConfig",
+    "ZipfSampler",
+    "ddr4_timing",
+    "make_rng",
+    "shuffled_ranks",
+    "stacked_dram_timing",
+    "weighted_choice",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the POM-TLB reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent with another one."""
+
+
+class AddressError(ReproError):
+    """An address is out of range or mis-aligned for the requested use."""
+
+
+class TranslationFault(ReproError):
+    """A virtual address has no mapping in the relevant page table.
+
+    This corresponds to a page fault that the simulated OS would have to
+    service; the simulator raises it only when a lookup is performed
+    against a page table that was never populated for that address.
+    """
+
+    def __init__(self, vaddr: int, space: str = "guest") -> None:
+        super().__init__(f"no {space} translation for VA {vaddr:#x}")
+        self.vaddr = vaddr
+        self.space = space
+
+
+class TraceFormatError(ReproError):
+    """A serialized memory trace could not be parsed."""

@@ -1,0 +1,126 @@
+"""Lightweight statistics counters shared by every simulated component.
+
+Components own a :class:`StatGroup`; the system simulator stitches the
+groups of all components into a :class:`StatRegistry` so experiments can
+render a single flat report.  Counters are plain attributes on purpose —
+the simulator hot path increments them millions of times and attribute
+access on a dict-backed object is the cheapest idiom that still gives us
+introspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class StatGroup:
+    """A named bag of numeric counters.
+
+    >>> g = StatGroup("l1_tlb")
+    >>> g.inc("hits")
+    >>> g.inc("hits", 2)
+    >>> g["hits"]
+    3
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, float] = {}
+
+    def inc(self, key: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``key`` (creating it at zero)."""
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set(self, key: str, value: float) -> None:
+        """Overwrite counter ``key``."""
+        self._counters[key] = value
+
+    def get(self, key: str, default: float = 0) -> float:
+        """Read counter ``key`` or ``default`` when never touched."""
+        return self._counters.get(key, default)
+
+    def __getitem__(self, key: str) -> float:
+        return self._counters.get(key, 0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` with 0/0 defined as 0.0."""
+        denom = self._counters.get(denominator, 0)
+        if denom == 0:
+            return 0.0
+        return self._counters.get(numerator, 0) / denom
+
+    def reset(self) -> None:
+        """Zero every counter (the keys are forgotten, not kept at 0)."""
+        self._counters.clear()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters, sorted by key for stable output."""
+        return dict(sorted(self._counters.items()))
+
+    def merge(self, other: "StatGroup") -> None:
+        """Accumulate every counter of ``other`` into this group."""
+        for key, value in other._counters.items():
+            self.inc(key, value)
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatGroup({self.name!r}, {self.as_dict()})"
+
+
+class StatRegistry:
+    """A registry mapping component names to their :class:`StatGroup`.
+
+    The registry is the single source experiments consume; it guarantees
+    unique group names so reports never silently alias two components.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, StatGroup] = {}
+
+    def group(self, name: str) -> StatGroup:
+        """Return the group called ``name``, creating it if needed."""
+        if name not in self._groups:
+            self._groups[name] = StatGroup(name)
+        return self._groups[name]
+
+    def register(self, group: StatGroup) -> StatGroup:
+        """Adopt an externally created group; name must be unused."""
+        if group.name in self._groups and self._groups[group.name] is not group:
+            raise ValueError(f"stat group {group.name!r} already registered")
+        self._groups[group.name] = group
+        return group
+
+    def __getitem__(self, name: str) -> StatGroup:
+        return self._groups[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._groups
+
+    def groups(self) -> Mapping[str, StatGroup]:
+        """Read-only view of all registered groups."""
+        return dict(self._groups)
+
+    def reset(self) -> None:
+        """Zero the counters of every registered group."""
+        for group in self._groups.values():
+            group.reset()
+
+    def as_nested_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{group: {counter: value}}`` snapshot, sorted at both levels."""
+        return {name: g.as_dict() for name, g in sorted(self._groups.items())}
+
+    def render(self) -> str:
+        """Plain-text report of every counter, one line each."""
+        lines = []
+        for name, group in sorted(self._groups.items()):
+            for key, value in group:
+                if isinstance(value, float) and not value.is_integer():
+                    lines.append(f"{name}.{key} = {value:.6g}")
+                else:
+                    lines.append(f"{name}.{key} = {int(value)}")
+        return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""The paper's contribution: POM-TLB, predictors, schemes, system model."""
+
+from .addressing import PomTlbAddressing
+from .mmu import (
+    SCHEMES,
+    SkewedPomScheme,
+    BaselineWalkScheme,
+    PomTlbScheme,
+    SharedL2Scheme,
+    TranslationResult,
+    TranslationScheme,
+    TsbScheme,
+    make_scheme,
+)
+from .perfmodel import BaselineAnchor, PerformanceEstimate, estimate, geometric_mean
+from .pom_tlb import PomTlb
+from .skewed_pom import SkewedPomTlb
+from .predictor import SizeBypassPredictor
+from .system import Machine, SimulationResult
+from .tsb import TranslationStorageBuffer
+from .walkers import WalkerPool, WalkResult
+
+__all__ = [
+    "SCHEMES",
+    "BaselineAnchor",
+    "BaselineWalkScheme",
+    "Machine",
+    "PerformanceEstimate",
+    "PomTlb",
+    "PomTlbAddressing",
+    "PomTlbScheme",
+    "SharedL2Scheme",
+    "SimulationResult",
+    "SkewedPomScheme",
+    "SkewedPomTlb",
+    "SizeBypassPredictor",
+    "TranslationResult",
+    "TranslationScheme",
+    "TranslationStorageBuffer",
+    "TsbScheme",
+    "WalkResult",
+    "WalkerPool",
+    "estimate",
+    "geometric_mean",
+    "make_scheme",
+]

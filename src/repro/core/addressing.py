@@ -1,0 +1,55 @@
+"""POM-TLB set addressing (paper Section 2.1.3, Equation 1).
+
+The POM-TLB is part of the physical address space.  A virtual address
+maps to exactly one 64 B set per partition:
+
+    set_index = (VPN XOR spread(VM_ID)) mod N
+    set_addr  = partition_base + 64 * set_index
+
+where ``VPN`` uses the partition's page shift (12 for the small-page
+partition, 21 for the large-page partition) and the VM ID is XOR-folded
+into the index so that several guests do not pile onto the same sets —
+the paper's "after XOR-ing them with the VM ID bits to distribute the
+set-mapping evenly".
+"""
+
+from __future__ import annotations
+
+from ..common import addr
+from ..common.config import PomTlbConfig
+
+#: 16-bit golden-ratio constant used to spread small VM IDs over index bits.
+_VM_SPREAD = 0x9E37
+
+
+class PomTlbAddressing:
+    """Pure address arithmetic for both POM-TLB partitions."""
+
+    def __init__(self, config: PomTlbConfig) -> None:
+        self.config = config
+        self._small_mask = config.small_sets - 1
+        self._large_mask = config.large_sets - 1
+
+    def set_index(self, vaddr: int, vm_id: int, large: bool) -> int:
+        """Set index of ``vaddr`` within the chosen partition."""
+        vpn = vaddr >> addr.page_shift(large)
+        spread = vm_id * _VM_SPREAD
+        if large:
+            return (vpn ^ spread) & self._large_mask
+        return (vpn ^ spread) & self._small_mask
+
+    def set_address(self, vaddr: int, vm_id: int, large: bool) -> int:
+        """Physical byte address of the 64 B set holding ``vaddr``'s entry."""
+        index = self.set_index(vaddr, vm_id, large)
+        base = self.config.large_base if large else self.config.small_base
+        return base + index * addr.CACHE_LINE_SIZE
+
+    def partition_of(self, paddr: int) -> bool:
+        """Which partition a POM-TLB physical address belongs to.
+
+        Returns ``True`` for the large partition; raises ``ValueError``
+        outside the POM-TLB range.
+        """
+        if not self.config.contains(paddr):
+            raise ValueError(f"{paddr:#x} is not a POM-TLB address")
+        return paddr >= self.config.large_base

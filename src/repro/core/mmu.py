@@ -1,0 +1,517 @@
+"""Translation schemes: the POM-TLB flow and the paper's comparison points.
+
+Every scheme shares the front end of a Skylake-like MMU — per-core split
+L1 TLBs (4 KiB / 2 MiB) and, except for Shared_L2, a private unified L2
+TLB.  They differ in what happens after the last private TLB misses:
+
+* :class:`BaselineWalkScheme` — nested (or native) page walk immediately.
+  This is the *simulated* baseline used by the Figure 2/3 characterisation.
+* :class:`PomTlbScheme` — the paper's contribution (Figure 7 flow):
+  size/bypass prediction, probing the L2D$/L3D$ for the cached POM-TLB
+  set, stacked-DRAM access, second-size retry, walk only on a true
+  POM-TLB miss.
+* :class:`SharedL2Scheme` — private L2 TLBs replaced by one shared SRAM
+  TLB with aggregate capacity (Bhattacharjee et al. [9]).
+* :class:`TsbScheme` — SPARC-style software-managed TSB: trap + two
+  dependent direct-mapped lookups in cacheable memory.
+
+Penalty accounting matches the paper's measurement: ``penalty`` counts
+the cycles spent **after the translation misses the (private) L2 TLB**
+— plus, for Shared_L2, the extra hit latency of the bigger shared array
+relative to a private L2 TLB, since that cost would not exist in the
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from ..cache.hierarchy import CacheHierarchy
+from ..common import addr
+from ..common.config import SharedL2Config, SystemConfig, TsbConfig
+from ..common.stats import StatRegistry
+from ..tlb.entry import TlbEntry, TlbKey
+from ..tlb.shared_l2 import SharedLastLevelTlb
+from ..tlb.tlb import SramTlb
+from ..vmm.vm import ResolvedPage
+from .pom_tlb import PomTlb
+from .skewed_pom import SkewedPomTlb
+from .predictor import SizeBypassPredictor
+from .tsb import TranslationStorageBuffer
+from .walkers import WalkerPool
+
+
+class TranslationResult(NamedTuple):
+    """Outcome of translating one reference."""
+
+    cycles: int    # full translation latency for this reference
+    l2_miss: bool  # missed the last private TLB level
+    penalty: int   # cycles attributed past the L2-TLB-miss point
+
+
+def _key_for(vm_id: int, asid: int, vaddr: int, large: bool) -> TlbKey:
+    return TlbKey(vm_id=vm_id, asid=asid, vpn=vaddr >> addr.page_shift(large),
+                  large=large)
+
+
+class _CoreTlbs:
+    """Private L1 (split) + L2 (unified) TLBs of one core."""
+
+    def __init__(self, config: SystemConfig, stats: StatRegistry,
+                 core: int) -> None:
+        mmu = config.mmu
+        self.l1_small = SramTlb(mmu.l1_small, stats.group(f"core{core}.l1_tlb_4k"))
+        self.l1_large = SramTlb(mmu.l1_large, stats.group(f"core{core}.l1_tlb_2m"))
+        self.l2 = SramTlb(mmu.l2_unified, stats.group(f"core{core}.l2_tlb"))
+        self.l1_latency = mmu.l1_small.latency_cycles
+        self.l2_latency = mmu.l2_unified.latency_cycles
+        self.l2_miss_overhead = mmu.l2_unified.miss_penalty_cycles
+
+    def l1(self, large: bool) -> SramTlb:
+        return self.l1_large if large else self.l1_small
+
+
+class TranslationScheme:
+    """Base class: L1/L2 front end + template for the miss path."""
+
+    name = "abstract"
+
+    def __init__(self, config: SystemConfig, stats: StatRegistry,
+                 hierarchy: CacheHierarchy, walkers: WalkerPool) -> None:
+        self.config = config
+        self.stats = stats
+        self.hierarchy = hierarchy
+        self.walkers = walkers
+        self.cores: List[_CoreTlbs] = [
+            _CoreTlbs(config, stats, core) for core in range(config.num_cores)]
+        self.mmu_stats = stats.group("mmu")
+
+    # -- main entry point ---------------------------------------------------
+
+    def translate(self, core: int, vm_id: int, asid: int, vaddr: int,
+                  page: ResolvedPage) -> TranslationResult:
+        """Translate one reference; ``page`` is the functional truth."""
+        tlbs = self.cores[core]
+        key = _key_for(vm_id, asid, vaddr, page.large)
+        cycles = tlbs.l1_latency
+        if tlbs.l1(page.large).lookup(key) is not None:
+            return TranslationResult(cycles, False, 0)
+        cycles += tlbs.l2_latency
+        if tlbs.l2.lookup(key) is not None:
+            tlbs.l1(page.large).insert(key, TlbEntry(page.host_frame >>
+                                                     addr.page_shift(page.large)))
+            return TranslationResult(cycles, False, 0)
+        self.mmu_stats.inc("l2_tlb_misses")
+        penalty = self._resolve_miss(core, vm_id, asid, vaddr, page)
+        entry = TlbEntry(page.host_frame >> addr.page_shift(page.large))
+        tlbs.l2.insert(key, entry)
+        tlbs.l1(page.large).insert(key, entry)
+        self.mmu_stats.inc("penalty_cycles", penalty)
+        return TranslationResult(cycles + penalty, True, penalty)
+
+    def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
+                      page: ResolvedPage) -> int:
+        """Scheme-specific resolution; returns cycles spent."""
+        raise NotImplementedError
+
+    # -- shootdown --------------------------------------------------------------
+
+    #: IPI delivery + lock round-trip that serialises every shootdown
+    #: (the paper's consistency discussion; Amit [35] attacks this cost).
+    SHOOTDOWN_BASE_CYCLES = 100
+    #: per-core cost of the local TLB invalidate instruction
+    SHOOTDOWN_PER_CORE_CYCLES = 4
+
+    def shootdown(self, vm_id: int, asid: int, vaddr: int,
+                  large: bool) -> int:
+        """Invalidate one translation everywhere (mostly-inclusive model).
+
+        Returns the modelled cost in cycles: the IPI/lock round-trip,
+        one invalidate per core, plus whatever the scheme's backend
+        structure costs (e.g. a stacked-DRAM set write for the POM-TLB).
+        """
+        key = _key_for(vm_id, asid, vaddr, large)
+        cycles = (self.SHOOTDOWN_BASE_CYCLES
+                  + self.SHOOTDOWN_PER_CORE_CYCLES * len(self.cores))
+        for tlbs in self.cores:
+            tlbs.l1(large).invalidate_page(key)
+            tlbs.l2.invalidate_page(key)
+        self.walkers.invalidate(vm_id, asid, vaddr)
+        cycles += self._shootdown_backend(vm_id, asid, vaddr, key) or 0
+        self.mmu_stats.inc("shootdowns")
+        self.mmu_stats.inc("shootdown_cycles", cycles)
+        return cycles
+
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
+                           key: TlbKey) -> int:
+        """Scheme-specific invalidation (POM set, TSB entry, shared TLB).
+
+        Returns extra cycles the backend structure costs; 0 by default.
+        """
+        return 0
+
+    def _walk(self, core: int, vm_id: int, asid: int, vaddr: int) -> int:
+        result = self.walkers.walk(core, vm_id, asid, vaddr)
+        self.mmu_stats.inc("page_walks")
+        self.mmu_stats.inc("page_walk_cycles", result.cycles)
+        return result.cycles
+
+
+class BaselineWalkScheme(TranslationScheme):
+    """L2 TLB miss -> page walk, nothing in between (simulated baseline).
+
+    The fixed L2-TLB miss overhead (Table 1: 17 cycles of MMU dispatch
+    machinery) is charged here — it is part of what the baseline perf
+    counters measure.  The POM-TLB flow *replaces* that machinery with
+    its predictor + probe path, so the other schemes charge their own
+    path instead.
+    """
+
+    name = "baseline"
+
+    def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
+                      page: ResolvedPage) -> int:
+        return (self.cores[core].l2_miss_overhead
+                + self._walk(core, vm_id, asid, vaddr))
+
+
+class PomTlbScheme(TranslationScheme):
+    """The paper's design: the Figure 7 access flow."""
+
+    name = "pom"
+
+    def __init__(self, config: SystemConfig, stats: StatRegistry,
+                 hierarchy: CacheHierarchy, walkers: WalkerPool) -> None:
+        super().__init__(config, stats, hierarchy, walkers)
+        self.pom = PomTlb(config, stats)
+        self.predictors: List[SizeBypassPredictor] = [
+            SizeBypassPredictor(config.predictor, stats.group(f"core{core}.predictor"))
+            for core in range(config.num_cores)]
+        self.flow_stats = stats.group("pom_flow")
+        self._cache_entries = config.cache_tlb_entries
+        self._prefetch = config.tlb_prefetch
+
+    def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
+                      page: ResolvedPage) -> int:
+        predictor = self.predictors[core]
+        cycles = 1  # predictor lookup
+        predicted_large = predictor.predict_size(vaddr)
+        bypass = (self._cache_entries
+                  and self.config.predictor.bypass_enabled
+                  and predictor.predict_bypass(vaddr))
+        true_addr = self.pom.set_address(vaddr, vm_id, page.large)
+        line_was_cached = (self._cache_entries
+                           and self.hierarchy.tlb_line_cached(core, true_addr))
+
+        entry: Optional[TlbEntry] = None
+        for attempt, large in enumerate((predicted_large, not predicted_large)):
+            set_addr = self.pom.set_address(vaddr, vm_id, large)
+            cycles += self._fetch_set(core, set_addr, bypass)
+            entry = self.pom.probe(vaddr, _key_for(vm_id, asid, vaddr, large))
+            if entry is not None:
+                self.flow_stats.inc("resolved_first_try" if attempt == 0
+                                    else "resolved_second_try")
+                break
+        if entry is None:
+            cycles += self._walk(core, vm_id, asid, vaddr)
+            self.flow_stats.inc("resolved_by_walk")
+            key = _key_for(vm_id, asid, vaddr, page.large)
+            shift = addr.page_shift(page.large)
+            set_paddr, _evicted = self.pom.insert(
+                vaddr, key, TlbEntry(page.host_frame >> shift))
+            # The set's cached copies are stale now; refresh the
+            # requester's path, drop everyone else's.
+            self.hierarchy.invalidate_line(set_paddr)
+            if self._cache_entries:
+                self.hierarchy.tlb_line_fill(core, set_paddr)
+        predictor.record_size(vaddr, page.large)
+        if self._cache_entries and entry is not None:
+            # Train the bypass bit only on POM-resolved misses: a
+            # compulsory miss says nothing about whether probing the
+            # caches is worthwhile (the line did not exist yet).
+            predictor.record_bypass(vaddr, line_was_cached)
+        if self._prefetch and self._cache_entries:
+            self._prefetch_next(core, vm_id, vaddr, page.large)
+        return cycles
+
+    def _prefetch_next(self, core: int, vm_id: int, vaddr: int,
+                       large: bool) -> None:
+        """Prefetch the next page's POM-TLB set into the data caches.
+
+        The Related-Work extension: a sequential next-page prefetcher in
+        front of the POM-TLB.  The fetch happens off the critical path
+        (no latency charged to this translation) but still exercises the
+        stacked-DRAM bank state.
+        """
+        next_vaddr = vaddr + addr.page_size(large)
+        set_addr = self.pom.set_address(next_vaddr, vm_id, large)
+        if self.hierarchy.tlb_line_cached(core, set_addr):
+            return
+        self.pom.dram_access(set_addr)
+        self.hierarchy.tlb_line_fill(core, set_addr)
+        self.flow_stats.inc("prefetches")
+
+    def _fetch_set(self, core: int, set_addr: int, bypass: bool) -> int:
+        """Bring one POM-TLB set to the MMU; returns cycles."""
+        if not self._cache_entries or bypass:
+            cycles = self.pom.dram_access(set_addr)
+            if bypass:
+                # Bypass skips the lookup latency, not the fill: the
+                # fetched set is still installed like any memory read.
+                self.hierarchy.tlb_line_fill(core, set_addr)
+            self.flow_stats.inc("set_from_dram_bypass" if bypass
+                                else "set_from_dram_uncached")
+            return cycles
+        cycles, level = self.hierarchy.tlb_line_probe(core, set_addr)
+        if level is None:
+            cycles += self.pom.dram_access(set_addr)
+            self.hierarchy.tlb_line_fill(core, set_addr)
+            self.flow_stats.inc("set_from_dram")
+        else:
+            self.flow_stats.inc(f"set_from_{level}")
+        return cycles
+
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
+                           key: TlbKey) -> int:
+        cycles = 0
+        for large in (False, True):
+            k = _key_for(vm_id, asid, vaddr, large)
+            set_paddr = self.pom.invalidate(vaddr, k)
+            if set_paddr is not None:
+                self.hierarchy.invalidate_line(set_paddr)
+                cycles += self.pom.dram_access(set_paddr)  # set write-back
+        return cycles
+
+
+class SharedL2Scheme(TranslationScheme):
+    """Shared last-level SRAM TLB replacing the private L2 TLBs.
+
+    The Eq. 4 anchor scales with the *baseline's* L2 TLB miss count, so
+    each core keeps a zero-latency **shadow** copy of the private L2 TLB
+    it replaced: the shadow's misses are what ``l2_tlb_misses`` reports,
+    while penalties reflect the shared structure's real behaviour (extra
+    hit latency on every L1 miss, walks on shared misses).
+    """
+
+    name = "shared_l2"
+
+    def __init__(self, config: SystemConfig, stats: StatRegistry,
+                 hierarchy: CacheHierarchy, walkers: WalkerPool,
+                 shared_config: Optional[SharedL2Config] = None) -> None:
+        super().__init__(config, stats, hierarchy, walkers)
+        self.shared = SharedLastLevelTlb(shared_config or SharedL2Config(),
+                                         config.num_cores,
+                                         stats.group("shared_l2_tlb"))
+        self._shadow: List[SramTlb] = [
+            SramTlb(config.mmu.l2_unified,
+                    stats.group(f"core{c}.shadow_l2_tlb"))
+            for c in range(config.num_cores)]
+        # The private-L2 latency the shared array is compared against:
+        # its extra cost is penalty the baseline would not pay.
+        self._baseline_l2_latency = config.mmu.l2_unified.latency_cycles
+
+    def translate(self, core: int, vm_id: int, asid: int, vaddr: int,
+                  page: ResolvedPage) -> TranslationResult:
+        tlbs = self.cores[core]
+        key = _key_for(vm_id, asid, vaddr, page.large)
+        cycles = tlbs.l1_latency
+        if tlbs.l1(page.large).lookup(key) is not None:
+            return TranslationResult(cycles, False, 0)
+        entry_template = TlbEntry(page.host_frame >> addr.page_shift(page.large))
+        # Shadow bookkeeping: would the baseline's private L2 have missed?
+        shadow = self._shadow[core]
+        shadow_miss = shadow.lookup(key) is None
+        if shadow_miss:
+            shadow.insert(key, entry_template)
+            self.mmu_stats.inc("l2_tlb_misses")
+        cycles += self.shared.latency
+        extra_hit_cost = max(0, self.shared.latency - self._baseline_l2_latency)
+        entry = self.shared.lookup(key)
+        if entry is not None:
+            tlbs.l1(page.large).insert(key, entry)
+            self.mmu_stats.inc("penalty_cycles", extra_hit_cost)
+            return TranslationResult(cycles, shadow_miss, extra_hit_cost)
+        penalty = extra_hit_cost + tlbs.l2_miss_overhead
+        penalty += self._walk(core, vm_id, asid, vaddr)  # dispatch as baseline
+        self.shared.insert(key, entry_template)
+        tlbs.l1(page.large).insert(key, entry_template)
+        self.mmu_stats.inc("penalty_cycles", penalty)
+        return TranslationResult(cycles + penalty, shadow_miss, penalty)
+
+    def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
+                      page: ResolvedPage) -> int:  # pragma: no cover
+        raise AssertionError("SharedL2Scheme overrides translate()")
+
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
+                           key: TlbKey) -> int:
+        for large in (False, True):
+            k = _key_for(vm_id, asid, vaddr, large)
+            self.shared.invalidate_page(k)
+            for shadow in self._shadow:
+                shadow.invalidate_page(k)
+        return self.shared.latency  # one shared-array invalidate op
+
+
+class TsbScheme(TranslationScheme):
+    """Software-managed TSB: trap + two dependent memory lookups."""
+
+    name = "tsb"
+
+    def __init__(self, config: SystemConfig, stats: StatRegistry,
+                 hierarchy: CacheHierarchy, walkers: WalkerPool,
+                 tsb_config: Optional[TsbConfig] = None) -> None:
+        super().__init__(config, stats, hierarchy, walkers)
+        self.tsb_config = tsb_config or TsbConfig()
+        self.tsb = TranslationStorageBuffer(self.tsb_config, stats.group("tsb"))
+
+    def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
+                      page: ResolvedPage) -> int:
+        cfg = self.tsb_config
+        cycles = cfg.trap_cycles
+        vpn = vaddr >> addr.page_shift(page.large)
+        gpa_addr = page.guest_frame | addr.page_offset(vaddr, page.large)
+        gpa_vpn = self.tsb.gpa_vpn(gpa_addr)
+        # First dependent access: guest half (gVA -> gPA).
+        cycles += self.hierarchy.data_access(
+            core, self.tsb.guest_entry_address(vm_id, asid, vpn))
+        gpa_frame = self.tsb.probe_guest(vm_id, asid, vpn, page.large)
+        resolved = False
+        if gpa_frame is not None:
+            # Second dependent access: host half (gPA -> hPA).
+            cycles += self.hierarchy.data_access(
+                core, self.tsb.host_entry_address(vm_id, gpa_vpn))
+            resolved = self.tsb.probe_host(vm_id, gpa_vpn) is not None
+        if not resolved:
+            # Software page walk + TSB refill (stores to both halves).
+            cycles += self._walk(core, vm_id, asid, vaddr)
+            self.tsb.fill_guest(vm_id, asid, vpn, page.large, page.guest_frame)
+            hpa_addr = page.host_frame + (gpa_addr - page.guest_frame)
+            self.tsb.fill_host(vm_id, gpa_vpn,
+                               hpa_addr & ~(addr.SMALL_PAGE_SIZE - 1))
+            cycles += self.hierarchy.data_access(
+                core, self.tsb.guest_entry_address(vm_id, asid, vpn), is_write=True)
+            cycles += self.hierarchy.data_access(
+                core, self.tsb.host_entry_address(vm_id, gpa_vpn), is_write=True)
+        return cycles
+
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
+                           key: TlbKey) -> int:
+        cycles = 0
+        for large in (False, True):
+            vpn = vaddr >> addr.page_shift(large)
+            entry_addr = self.tsb.invalidate_guest(vm_id, asid, vpn, large)
+            if entry_addr is not None:
+                self.hierarchy.invalidate_line(entry_addr)
+                cycles += self.hierarchy.data_access(0, entry_addr,
+                                                     is_write=True)
+        return cycles
+
+
+class SkewedPomScheme(TranslationScheme):
+    """POM-TLB with the unified skew-associative organisation.
+
+    Footnote 1 of the paper, implemented: one table for both page sizes,
+    per-way hash functions.  The flow mirrors :class:`PomTlbScheme`, but
+    because each way's candidate slot lives in a different 64 B line,
+    the MMU fetches candidate lines way by way until it finds the entry
+    — the serialization cost the partitioned design avoids.
+    """
+
+    name = "pom_skewed"
+
+    def __init__(self, config: SystemConfig, stats: StatRegistry,
+                 hierarchy: CacheHierarchy, walkers: WalkerPool) -> None:
+        super().__init__(config, stats, hierarchy, walkers)
+        self.pom = SkewedPomTlb(config, stats)
+        self.predictors: List[SizeBypassPredictor] = [
+            SizeBypassPredictor(config.predictor,
+                                stats.group(f"core{core}.predictor"))
+            for core in range(config.num_cores)]
+        self.flow_stats = stats.group("pom_flow")
+        self._cache_entries = config.cache_tlb_entries
+
+    def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
+                      page: ResolvedPage) -> int:
+        predictor = self.predictors[core]
+        cycles = 1  # predictor lookup
+        predicted_large = predictor.predict_size(vaddr)
+        bypass = (self._cache_entries
+                  and self.config.predictor.bypass_enabled
+                  and predictor.predict_bypass(vaddr))
+        true_key = _key_for(vm_id, asid, vaddr, page.large)
+        first_line = self.pom.lines_for_key(true_key)[0]
+        line_was_cached = (self._cache_entries
+                           and self.hierarchy.tlb_line_cached(core, first_line))
+
+        entry: Optional[TlbEntry] = None
+        for attempt, large in enumerate((predicted_large, not predicted_large)):
+            key = _key_for(vm_id, asid, vaddr, large)
+            for way, line_addr in enumerate(self.pom.lines_for_key(key)):
+                cycles += self._fetch_line(core, line_addr, bypass)
+                entry = self.pom.probe_way(key, way)
+                if entry is not None:
+                    break
+            if entry is not None:
+                self.flow_stats.inc("resolved_first_try" if attempt == 0
+                                    else "resolved_second_try")
+                break
+        if entry is None:
+            cycles += self._walk(core, vm_id, asid, vaddr)
+            self.flow_stats.inc("resolved_by_walk")
+            shift = addr.page_shift(page.large)
+            line_addr, _evicted = self.pom.insert(
+                true_key, TlbEntry(page.host_frame >> shift))
+            self.hierarchy.invalidate_line(line_addr)
+            if self._cache_entries:
+                self.hierarchy.tlb_line_fill(core, line_addr)
+        predictor.record_size(vaddr, page.large)
+        if self._cache_entries and entry is not None:
+            predictor.record_bypass(vaddr, line_was_cached)
+        return cycles
+
+    def _fetch_line(self, core: int, line_addr: int, bypass: bool) -> int:
+        if not self._cache_entries or bypass:
+            cycles = self.pom.dram_access(line_addr)
+            if bypass:
+                self.hierarchy.tlb_line_fill(core, line_addr)
+            self.flow_stats.inc("set_from_dram_bypass" if bypass
+                                else "set_from_dram_uncached")
+            return cycles
+        cycles, level = self.hierarchy.tlb_line_probe(core, line_addr)
+        if level is None:
+            cycles += self.pom.dram_access(line_addr)
+            self.hierarchy.tlb_line_fill(core, line_addr)
+            self.flow_stats.inc("set_from_dram")
+        else:
+            self.flow_stats.inc(f"set_from_{level}")
+        return cycles
+
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
+                           key: TlbKey) -> int:
+        cycles = 0
+        for large in (False, True):
+            k = _key_for(vm_id, asid, vaddr, large)
+            line_addr = self.pom.invalidate(k)
+            if line_addr is not None:
+                self.hierarchy.invalidate_line(line_addr)
+                cycles += self.pom.dram_access(line_addr)
+        return cycles
+
+
+SCHEMES = {
+    scheme.name: scheme
+    for scheme in (BaselineWalkScheme, PomTlbScheme, SkewedPomScheme,
+               SharedL2Scheme, TsbScheme)
+}
+
+
+def make_scheme(name: str, config: SystemConfig, stats: StatRegistry,
+                hierarchy: CacheHierarchy, walkers: WalkerPool,
+                **kwargs) -> TranslationScheme:
+    """Instantiate a scheme by name: baseline, pom, shared_l2 or tsb."""
+    try:
+        cls = SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; pick one of {sorted(SCHEMES)}") from None
+    return cls(config, stats, hierarchy, walkers, **kwargs)

@@ -1,0 +1,104 @@
+"""Linear additive performance model (paper Section 3.2/3.3, Eq. 2-5).
+
+The paper anchors every estimate on *measured* baseline numbers: total
+cycles ``C_total``, L2 TLB misses ``M_total`` and total miss penalty
+``P_total`` come from perf counters on real Skylake hardware, and the
+simulator only supplies the scheme's average penalty per miss.  Formally:
+
+    C_ideal        = C_total - P_total                     (Eq. 2)
+    P_baseline_avg = P_total / M_total                     (Eq. 3)
+    C_scheme       = C_ideal + M_total * P_scheme_avg      (Eq. 4)
+    IPC_scheme     = I_total / C_scheme                    (Eq. 5)
+
+We reproduce exactly that: the anchor is a benchmark's Table 2 row
+(translation overhead %, baseline cycles per L2 TLB miss), scaled to the
+trace by the simulated miss count, and the scheme's simulated penalty
+plugs into Eq. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BaselineAnchor:
+    """Measured baseline behaviour of one benchmark (one Table 2 column)."""
+
+    #: % of total execution cycles spent in translation after L2 TLB misses
+    overhead_pct: float
+    #: average penalty cycles per L2 TLB miss
+    cycles_per_l2_miss: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overhead_pct < 100.0:
+            raise ValueError("overhead_pct must be in [0, 100)")
+        if self.cycles_per_l2_miss < 0:
+            raise ValueError("cycles_per_l2_miss must be non-negative")
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """Every quantity of Eq. 2-5, in trace-scaled cycles."""
+
+    baseline_cycles: float   # C_total
+    ideal_cycles: float      # C_ideal
+    scheme_cycles: float     # C_scheme
+    baseline_penalty: float  # P_total
+    scheme_penalty: float    # M_total * P_scheme_avg
+
+    @property
+    def speedup(self) -> float:
+        """IPC_scheme / IPC_baseline = C_total / C_scheme."""
+        if self.scheme_cycles == 0:
+            return 1.0
+        return self.baseline_cycles / self.scheme_cycles
+
+    @property
+    def improvement_percent(self) -> float:
+        """Performance improvement in % (the Figure 8 y-axis)."""
+        return (self.speedup - 1.0) * 100.0
+
+
+def estimate(anchor: BaselineAnchor, l2_tlb_misses: int,
+             scheme_penalty_cycles: float) -> PerformanceEstimate:
+    """Apply Eq. 2-5 over one simulated trace.
+
+    ``l2_tlb_misses`` is the simulated miss count M (the trace-scaled
+    M_total); ``scheme_penalty_cycles`` is the simulator's total penalty
+    for the scheme over the same trace (M * P_scheme_avg).
+    """
+    if l2_tlb_misses < 0 or scheme_penalty_cycles < 0:
+        raise ValueError("miss count and penalties must be non-negative")
+    baseline_penalty = l2_tlb_misses * anchor.cycles_per_l2_miss
+    if baseline_penalty == 0 or anchor.overhead_pct == 0:
+        # No translation overhead to recover: every scheme is a wash
+        # (speedup 1.0, improvement 0%).
+        return PerformanceEstimate(
+            baseline_cycles=scheme_penalty_cycles,
+            ideal_cycles=scheme_penalty_cycles,
+            scheme_cycles=scheme_penalty_cycles,
+            baseline_penalty=0.0, scheme_penalty=scheme_penalty_cycles)
+    baseline_cycles = baseline_penalty / (anchor.overhead_pct / 100.0)
+    ideal_cycles = baseline_cycles - baseline_penalty          # Eq. 2
+    scheme_cycles = ideal_cycles + scheme_penalty_cycles       # Eq. 4
+    return PerformanceEstimate(
+        baseline_cycles=baseline_cycles,
+        ideal_cycles=ideal_cycles,
+        scheme_cycles=scheme_cycles,
+        baseline_penalty=baseline_penalty,
+        scheme_penalty=scheme_penalty_cycles,
+    )
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of speedup-like factors (used for suite summaries)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

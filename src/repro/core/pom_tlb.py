@@ -1,0 +1,157 @@
+"""The POM-TLB: a very large L3 TLB resident in (die-stacked) DRAM.
+
+Functional content and DRAM timing of the structure of paper Section 2.1:
+
+* two physical partitions (4 KiB / 2 MiB entries), statically sized;
+* 16 B entries, 4-way associative sets = one 64 B line, so one DRAM
+  burst fetches a whole set and the LRU decision needs no extra access;
+* per-set true LRU via the 2 attribute bits of each entry;
+* memory-mapped: every set has a physical address
+  (:class:`~repro.core.addressing.PomTlbAddressing`), which is what lets
+  the MMU cache sets in the L2/L3 data caches;
+* backed by one dedicated channel of die-stacked DRAM whose bank/row
+  state produces the Figure 11 row-buffer behaviour.
+
+The *timing* of an access (probe through caches, bypass, fills) is
+orchestrated by the MMU (:mod:`repro.core.mmu`); this class answers
+functional questions (is the translation present? what got evicted?) and
+charges stacked-DRAM cycles on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common.config import PomTlbConfig, SystemConfig
+from ..common.stats import StatGroup, StatRegistry
+from ..dram import DramChannel
+from ..tlb.entry import TlbEntry, TlbKey
+from .addressing import PomTlbAddressing
+
+#: One set: newest-first list of (key, entry); len <= ways.
+_Set = List[Tuple[TlbKey, TlbEntry]]
+
+
+class PomTlb:
+    """Functional state + DRAM timing of the part-of-memory TLB."""
+
+    def __init__(self, config: SystemConfig, stats: StatRegistry) -> None:
+        self.config: PomTlbConfig = config.pom_tlb
+        self.addressing = PomTlbAddressing(self.config)
+        self.stats: StatGroup = stats.group("pom_tlb")
+        self.dram = DramChannel(config.stacked_dram, config.cpu_mhz,
+                                stats.group("stacked_dram"))
+        self._ways = self.config.ways
+        # Sparse set storage per partition, keyed by set index.
+        self._sets: Dict[bool, Dict[int, _Set]] = {False: {}, True: {}}
+
+    # -- addressing -----------------------------------------------------------
+
+    def set_address(self, vaddr: int, vm_id: int, large: bool) -> int:
+        """Physical address of the set ``vaddr`` maps to in a partition."""
+        return self.addressing.set_address(vaddr, vm_id, large)
+
+    def dram_access(self, set_paddr: int) -> int:
+        """Charge one 64 B stacked-DRAM burst for a set; returns cycles."""
+        return self.dram.access(set_paddr)
+
+    # -- functional content -----------------------------------------------------
+
+    def probe(self, vaddr: int, key: TlbKey) -> Optional[TlbEntry]:
+        """Search the set for ``key``; refreshes LRU on hit.
+
+        ``vaddr`` picks the set (index bits); ``key`` must carry the
+        matching page size — probing the small partition with a large
+        key is a contract violation the caller never commits.
+        """
+        index = self.addressing.set_index(vaddr, key.vm_id, key.large)
+        entries = self._sets[key.large].get(index)
+        if entries:
+            for position, (resident, entry) in enumerate(entries):
+                if resident == key:
+                    if position:
+                        entries.insert(0, entries.pop(position))
+                    self.stats.inc("hits_large" if key.large else "hits_small")
+                    return entry
+        self.stats.inc("misses_large" if key.large else "misses_small")
+        return None
+
+    def contains(self, vaddr: int, key: TlbKey) -> bool:
+        """Presence check with no LRU or stats side effects."""
+        index = self.addressing.set_index(vaddr, key.vm_id, key.large)
+        entries = self._sets[key.large].get(index, [])
+        return any(resident == key for resident, _ in entries)
+
+    def insert(self, vaddr: int, key: TlbKey,
+               entry: TlbEntry) -> Tuple[int, Optional[TlbKey]]:
+        """Install a translation after a page walk.
+
+        Returns ``(set_paddr, evicted_key)`` so the MMU can keep cached
+        copies of the set coherent and account the eviction.
+        """
+        index = self.addressing.set_index(vaddr, key.vm_id, key.large)
+        sets = self._sets[key.large]
+        entries = sets.get(index)
+        if entries is None:
+            entries = sets[index] = []
+        evicted: Optional[TlbKey] = None
+        for position, (resident, _old) in enumerate(entries):
+            if resident == key:
+                del entries[position]
+                break
+        else:
+            if len(entries) >= self._ways:
+                evicted, _ = entries.pop()  # LRU is last
+                self.stats.inc("evictions")
+        entries.insert(0, (key, entry))
+        self.stats.inc("fills")
+        set_paddr = self.set_address(vaddr, key.vm_id, key.large)
+        return set_paddr, evicted
+
+    # -- shootdown support -------------------------------------------------
+
+    def invalidate(self, vaddr: int, key: TlbKey) -> Optional[int]:
+        """Drop one translation; returns the set address if it was present."""
+        index = self.addressing.set_index(vaddr, key.vm_id, key.large)
+        entries = self._sets[key.large].get(index)
+        if not entries:
+            return None
+        for position, (resident, _entry) in enumerate(entries):
+            if resident == key:
+                del entries[position]
+                self.stats.inc("shootdowns")
+                return self.set_address(vaddr, key.vm_id, key.large)
+        return None
+
+    def invalidate_vm(self, vm_id: int) -> int:
+        """Drop every translation of one VM; returns the count."""
+        dropped = 0
+        for sets in self._sets.values():
+            for entries in sets.values():
+                before = len(entries)
+                entries[:] = [(k, e) for k, e in entries if k.vm_id != vm_id]
+                dropped += before - len(entries)
+        if dropped:
+            self.stats.inc("shootdowns", dropped)
+        return dropped
+
+    # -- reporting ---------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        hits = self.stats["hits_small"] + self.stats["hits_large"]
+        total = hits + self.stats["misses_small"] + self.stats["misses_large"]
+        return hits / total if total else 0.0
+
+    def occupancy(self) -> Dict[str, int]:
+        """Resident entry counts per partition."""
+        return {
+            "small": sum(len(v) for v in self._sets[False].values()),
+            "large": sum(len(v) for v in self._sets[True].values()),
+        }
+
+    @property
+    def reach_bytes(self) -> int:
+        """Address space covered when both partitions are full."""
+        small_entries = self.config.small_sets * self._ways
+        large_entries = self.config.large_sets * self._ways
+        return small_entries * 4096 + large_entries * 2 * 1024 * 1024

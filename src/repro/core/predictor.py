@@ -1,0 +1,106 @@
+"""Page-size and cache-bypass predictor (paper Sections 2.1.4 and 2.1.5).
+
+One 512-entry table per core; each entry is 2 bits:
+
+* bit 0 — predicted page size (0 = 4 KiB, 1 = 2 MiB), and
+* bit 1 — predicted cache bypass (1 = skip the L2D$/L3D$ probes and go
+  straight to the POM-TLB DRAM).
+
+The table is indexed with 9 VA bits above the 4 KiB offset.  Both bits
+are trained on outcome: a wrong size prediction flips bit 0 (the paper's
+"the prediction entry for the index is updated"); the bypass bit is set
+when the needed POM-TLB line turned out to be absent from the data
+caches and cleared when it was present.
+
+The structure costs 128 bytes of SRAM per core (512 x 2 bits), matching
+the paper's overhead claim; the lookup is charged one cycle by the MMU.
+"""
+
+from __future__ import annotations
+
+from ..common.config import PredictorConfig
+from ..common.stats import StatGroup
+
+
+class SizeBypassPredictor:
+    """Per-core combined page-size + bypass predictor."""
+
+    def __init__(self, config: PredictorConfig, stats: StatGroup) -> None:
+        self.config = config
+        self.stats = stats
+        self._mask = config.entries - 1
+        self._shift = config.index_shift
+        # Saturating counter per entry; >= threshold predicts 2 MiB.
+        self._size_max = (1 << config.size_counter_bits) - 1
+        self._size_threshold = 1 << (config.size_counter_bits - 1)
+        self._size_counters = [0] * config.entries
+        self._bypass_bits = [0] * config.entries
+
+    def _index(self, vaddr: int) -> int:
+        return (vaddr >> self._shift) & self._mask
+
+    # -- page size ---------------------------------------------------------
+
+    def predict_size(self, vaddr: int) -> bool:
+        """Predict the page size of ``vaddr`` (True = 2 MiB)."""
+        return self._size_counters[self._index(vaddr)] >= self._size_threshold
+
+    def record_size(self, vaddr: int, actual_large: bool) -> bool:
+        """Train on the actual size; returns whether the prediction was right.
+
+        With 1-bit counters this is the paper's update rule (flip the
+        entry on a wrong prediction); multi-bit counters saturate toward
+        the observed size, adding hysteresis (paper footnote 2).
+        """
+        idx = self._index(vaddr)
+        counter = self._size_counters[idx]
+        correct = (counter >= self._size_threshold) == actual_large
+        if correct:
+            self.stats.inc("size_correct")
+        else:
+            self.stats.inc("size_wrong")
+        if actual_large:
+            if counter < self._size_max:
+                self._size_counters[idx] = counter + 1
+        elif counter > 0:
+            self._size_counters[idx] = counter - 1
+        return correct
+
+    # -- cache bypass ----------------------------------------------------------
+
+    def predict_bypass(self, vaddr: int) -> bool:
+        """Predict whether to skip the data-cache probes."""
+        return bool(self._bypass_bits[self._index(vaddr)])
+
+    def record_bypass(self, vaddr: int, line_was_cached: bool) -> bool:
+        """Train on whether the POM-TLB line was actually in the caches.
+
+        Bypassing is the right call exactly when the line was *not*
+        cached; returns whether the prediction made was right.
+        """
+        idx = self._index(vaddr)
+        predicted = bool(self._bypass_bits[idx])
+        should_bypass = not line_was_cached
+        correct = predicted == should_bypass
+        if correct:
+            self.stats.inc("bypass_correct")
+        else:
+            self.stats.inc("bypass_wrong")
+        self._bypass_bits[idx] = int(should_bypass)
+        return correct
+
+    # -- reporting ----------------------------------------------------------
+
+    def size_accuracy(self) -> float:
+        total = self.stats["size_correct"] + self.stats["size_wrong"]
+        return self.stats["size_correct"] / total if total else 0.0
+
+    def bypass_accuracy(self) -> float:
+        total = self.stats["bypass_correct"] + self.stats["bypass_wrong"]
+        return self.stats["bypass_correct"] / total if total else 0.0
+
+    @property
+    def storage_bytes(self) -> int:
+        """SRAM footprint (paper design: 2 bits/entry = 128 B per core)."""
+        bits_per_entry = self.config.size_counter_bits + 1
+        return self.config.entries * bits_per_entry // 8

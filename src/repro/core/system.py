@@ -1,0 +1,264 @@
+"""The full-system simulator: cores, caches, TLBs, DRAM and one scheme.
+
+:class:`Machine` wires every substrate together and replays per-core
+trace streams, interleaved by instruction count.  For each memory
+reference it
+
+1. resolves the page functionally (demand paging on first touch),
+2. runs the address translation through the configured scheme
+   (POM-TLB / baseline walk / Shared_L2 / TSB), and
+3. performs the data access itself through the cache hierarchy —
+   so translation traffic and data traffic contend for the same caches,
+   which is what makes the POM-TLB's entry caching meaningful.
+
+The result is a :class:`SimulationResult` carrying the counters every
+paper figure is derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from ..cache.hierarchy import CacheHierarchy
+from ..common import addr
+from ..common.config import SystemConfig
+from ..common.stats import StatRegistry
+from ..vmm.thp import ThpPolicy
+from ..vmm.vm import Host, NativeProcess, ResolvedPage
+from ..workloads.trace import CoreStream, interleave
+from .mmu import TranslationScheme, make_scheme
+from .walkers import WalkerPool
+
+
+@dataclass
+class SimulationResult:
+    """Counters and derived metrics of one simulation run."""
+
+    scheme: str
+    references: int
+    instructions: int
+    l2_tlb_misses: int
+    penalty_cycles: int
+    translation_cycles: int
+    data_cycles: int
+    page_walks: int
+    stats: StatRegistry = field(repr=False)
+
+    @property
+    def avg_penalty_per_miss(self) -> float:
+        """The scheme's P_avg of paper Eq. 4 (cycles per L2 TLB miss)."""
+        if self.l2_tlb_misses == 0:
+            return 0.0
+        return self.penalty_cycles / self.l2_tlb_misses
+
+    @property
+    def mpki(self) -> float:
+        """L2 TLB misses per kilo-instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.l2_tlb_misses / self.instructions
+
+    @property
+    def walk_elimination(self) -> float:
+        """Fraction of L2 TLB misses resolved without a page walk."""
+        if self.l2_tlb_misses == 0:
+            return 0.0
+        return 1.0 - self.page_walks / self.l2_tlb_misses
+
+    # -- figure-level metrics -------------------------------------------------
+
+    def tlb_cache_hit_ratio(self, level: str) -> float:
+        """Hit ratio of POM-TLB lines in the data caches (Fig 9).
+
+        ``level`` is ``"l2"`` (aggregated private L2D$) or ``"l3"``.
+        """
+        hits = misses = 0.0
+        for name, group in self.stats.groups().items():
+            if level == "l2" and name.endswith(".l2d"):
+                hits += group["tlb_hits"]
+                misses += group["tlb_misses"]
+            elif level == "l3" and name == "l3d":
+                hits += group["tlb_hits"]
+                misses += group["tlb_misses"]
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def pom_hit_ratio(self) -> float:
+        """Fraction of POM-TLB set searches that found the translation."""
+        group = self.stats.groups().get("pom_tlb")
+        if group is None:
+            return 0.0
+        hits = group["hits_small"] + group["hits_large"]
+        total = hits + group["misses_small"] + group["misses_large"]
+        return hits / total if total else 0.0
+
+    def predictor_accuracy(self) -> Dict[str, float]:
+        """Aggregate size/bypass predictor accuracy over cores (Fig 10)."""
+        counts = {"size_correct": 0.0, "size_wrong": 0.0,
+                  "bypass_correct": 0.0, "bypass_wrong": 0.0}
+        for name, group in self.stats.groups().items():
+            if name.endswith(".predictor"):
+                for key in counts:
+                    counts[key] += group[key]
+        size_total = counts["size_correct"] + counts["size_wrong"]
+        bypass_total = counts["bypass_correct"] + counts["bypass_wrong"]
+        return {
+            "size": counts["size_correct"] / size_total if size_total else 0.0,
+            "bypass": counts["bypass_correct"] / bypass_total if bypass_total else 0.0,
+        }
+
+    def row_buffer_hit_rate(self) -> float:
+        """Row-buffer hit rate of the POM-TLB's stacked DRAM (Fig 11)."""
+        group = self.stats.groups().get("stacked_dram")
+        if group is None or not group["accesses"]:
+            return 0.0
+        return group["row_hits"] / group["accesses"]
+
+
+class Machine:
+    """One simulated system running one translation scheme."""
+
+    def __init__(self, config: SystemConfig, scheme: str = "pom",
+                 thp_large_fraction: float = 0.0, seed: int = 0,
+                 tlb_priority: bool = False,
+                 host_memory_bytes: int = 64 * addr.GiB,
+                 thp_fractions: Optional[Dict[int, float]] = None,
+                 **scheme_kwargs) -> None:
+        self.config = config
+        self.seed = seed
+        self.thp_large_fraction = thp_large_fraction
+        #: per-VM (or per-native-asid) THP overrides for mixed workloads
+        self.thp_fractions = thp_fractions or {}
+        self.stats = StatRegistry()
+        self.hierarchy = CacheHierarchy(config, self.stats,
+                                        tlb_priority=tlb_priority)
+        self.host = Host(memory_bytes=host_memory_bytes)
+        self._native_processes: Dict[int, NativeProcess] = {}
+        self.walkers = WalkerPool(config, self.stats, self.hierarchy,
+                                  self.host,
+                                  native_resolver=self._native_process)
+        self.scheme: TranslationScheme = make_scheme(
+            scheme, config, self.stats, self.hierarchy, self.walkers,
+            **scheme_kwargs)
+
+    # -- software contexts ----------------------------------------------------
+
+    def _thp(self, context_seed: int) -> ThpPolicy:
+        fraction = self.thp_fractions.get(context_seed,
+                                          self.thp_large_fraction)
+        return ThpPolicy(fraction, seed=self.seed * 1000 + context_seed)
+
+    def _native_process(self, asid: int) -> NativeProcess:
+        proc = self._native_processes.get(asid)
+        if proc is None:
+            proc = NativeProcess(asid, self.host.memory, self._thp(asid))
+            self._native_processes[asid] = proc
+        return proc
+
+    def touch(self, vm_id: int, asid: int, vaddr: int) -> ResolvedPage:
+        """Demand-page ``vaddr`` in (public: handy for tests/REPL use)."""
+        if self.config.virtualized:
+            vm = self.host.vms.get(vm_id)
+            if vm is None:
+                vm = self.host.create_vm(vm_id, self._thp(vm_id))
+            return vm.touch(asid, vaddr)
+        return self._native_process(asid).touch(vaddr)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, streams: Iterable[CoreStream],
+            max_references: Optional[int] = None,
+            warmup_references: Union[int, Mapping[int, int]] = 0
+            ) -> SimulationResult:
+        """Replay the streams to completion (or ``max_references``).
+
+        ``warmup_references`` replays that much of the trace first, then
+        zeroes every statistic while keeping all structure state (TLB,
+        cache, POM-TLB and predictor contents).  This measures steady
+        state, like the paper's 20-billion-instruction runs where
+        compulsory misses are negligible; without it, short traces are
+        dominated by first-touch misses no scheme can avoid.
+
+        An ``int`` counts references globally across the interleaved
+        merge.  A ``{core: count}`` mapping waits until **every** listed
+        core has delivered its own count — required when streams tick
+        their instruction clocks at different rates (mixed-benchmark
+        consolidation), where a global count would cut some cores off
+        mid-prologue.
+        """
+        streams = list(streams)
+        for stream in streams:
+            if stream.core >= self.config.num_cores:
+                raise ValueError(
+                    f"stream core {stream.core} >= {self.config.num_cores} cores")
+        mmu_stats = self.stats.group("mmu")
+        references = 0
+        translation_cycles = 0
+        data_cycles = 0
+        if isinstance(warmup_references, int):
+            warmup_remaining: Dict[int, int] = (
+                {-1: warmup_references} if warmup_references else {})
+        else:
+            warmup_remaining = {core: count for core, count
+                                in warmup_references.items() if count > 0}
+        in_warmup = bool(warmup_remaining)
+        warmup_boundary: Dict[int, int] = {}
+        last_icount: Dict[int, int] = {}
+        for stream, ref in interleave(streams):
+            if in_warmup and not warmup_remaining:
+                in_warmup = False
+                references = 0
+                translation_cycles = 0
+                data_cycles = 0
+                self.stats.reset()
+                warmup_boundary = dict(last_icount)
+            if in_warmup:
+                key = -1 if -1 in warmup_remaining else stream.core
+                if key in warmup_remaining:
+                    warmup_remaining[key] -= 1
+                    if warmup_remaining[key] <= 0:
+                        del warmup_remaining[key]
+            page = self.touch(stream.vm_id, stream.asid, ref.vaddr)
+            result = self.scheme.translate(
+                stream.core, stream.vm_id, stream.asid, ref.vaddr, page)
+            translation_cycles += result.cycles
+            hpa = page.host_frame | addr.page_offset(ref.vaddr, page.large)
+            data_cycles += self.hierarchy.data_access(stream.core, hpa,
+                                                      is_write=ref.write)
+            last_icount[stream.core] = ref.icount
+            references += 1
+            if max_references is not None and references >= max_references:
+                break
+        if in_warmup:
+            raise ValueError(
+                f"warmup ({warmup_references}) consumed the whole trace")
+        instructions = sum(
+            last_icount[core] - warmup_boundary.get(core, 0)
+            for core in last_icount)
+        return SimulationResult(
+            scheme=self.scheme.name,
+            references=references,
+            instructions=instructions,
+            l2_tlb_misses=int(mmu_stats["l2_tlb_misses"]),
+            penalty_cycles=int(mmu_stats["penalty_cycles"]),
+            translation_cycles=translation_cycles,
+            data_cycles=data_cycles,
+            page_walks=int(mmu_stats["page_walks"]),
+            stats=self.stats,
+        )
+
+    # -- OS-visible operations --------------------------------------------------
+
+    def shootdown(self, vm_id: int, asid: int, vaddr: int) -> int:
+        """TLB shootdown of one page across all structures.
+
+        Returns the modelled shootdown cost in cycles.
+        """
+        if self.config.virtualized:
+            vm = self.host.vms.get(vm_id)
+            page = vm.resolve(asid, vaddr) if vm is not None else None
+        else:
+            page = self._native_process(asid).resolve(vaddr)
+        large = page.large if page is not None else False
+        return self.scheme.shootdown(vm_id, asid, vaddr, large)

@@ -1,0 +1,117 @@
+"""Walker pool: per-context page walkers with per-core MMU caches.
+
+The simulator runs one software context per core per run, so paging-
+structure caches are instantiated per (core, vm, asid) — equivalent to
+per-core PSCs that are never cross-context polluted, which matches the
+paper's steady-state measurement methodology.
+
+In virtualized mode walks are 2-D (:class:`~repro.paging.NestedWalker`);
+in native mode they are 1-D against the process's single table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
+
+from ..cache.hierarchy import CacheHierarchy
+from ..common import addr
+from ..common.config import SystemConfig
+from ..common.stats import StatRegistry
+from ..paging.nested import NestedWalker
+from ..paging.walk_cache import PagingStructureCache
+from ..paging.walker import NativeWalker
+from ..vmm.vm import Host, NativeProcess
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Uniform walk outcome for both walk dimensions."""
+
+    cycles: int
+    memory_refs: int
+    host_frame: int
+    large: bool
+
+
+#: Resolver from asid to a NativeProcess (native mode only).
+NativeResolver = Callable[[int], NativeProcess]
+
+
+class WalkerPool:
+    """Creates and caches walkers; issues walks for the schemes."""
+
+    def __init__(self, config: SystemConfig, stats: StatRegistry,
+                 hierarchy: CacheHierarchy, host: Host,
+                 native_resolver: NativeResolver = None) -> None:
+        self.config = config
+        self.stats = stats
+        self.hierarchy = hierarchy
+        self.host = host
+        self.native_resolver = native_resolver
+        self.virtualized = config.virtualized
+        self._walkers: Dict[Tuple[int, int, int],
+                            Union[NestedWalker, NativeWalker]] = {}
+
+    def _pte_access(self, core: int):
+        hierarchy = self.hierarchy
+        return lambda paddr: hierarchy.pte_access(core, paddr)
+
+    def _walker_for(self, core: int, vm_id: int,
+                    asid: int) -> Union[NestedWalker, NativeWalker]:
+        key = (core, vm_id, asid)
+        walker = self._walkers.get(key)
+        if walker is not None:
+            return walker
+        tag = f"core{core}.vm{vm_id}.asid{asid}"
+        if self.virtualized:
+            vm = self.host.vms[vm_id]
+            walker = NestedWalker(
+                guest_table=vm.process(asid).guest_table,
+                host_table=vm.host_table,
+                guest_psc=PagingStructureCache(self.config.walk_cache,
+                                               self.stats.group(f"{tag}.gpsc")),
+                host_psc=PagingStructureCache(self.config.walk_cache,
+                                              self.stats.group(f"{tag}.hpsc")),
+                pte_access=self._pte_access(core),
+                stats=self.stats.group(f"{tag}.walker"),
+            )
+        else:
+            if self.native_resolver is None:
+                raise ValueError("native mode needs a native_resolver")
+            process = self.native_resolver(asid)
+            walker = NativeWalker(
+                page_table=process.page_table,
+                psc=PagingStructureCache(self.config.walk_cache,
+                                         self.stats.group(f"{tag}.psc")),
+                pte_access=self._pte_access(core),
+                stats=self.stats.group(f"{tag}.walker"),
+            )
+        self._walkers[key] = walker
+        return walker
+
+    def walk(self, core: int, vm_id: int, asid: int, vaddr: int) -> WalkResult:
+        """Perform one page walk; cycles include every PTE reference."""
+        walker = self._walker_for(core, vm_id, asid)
+        if self.virtualized:
+            outcome = walker.walk(vaddr)
+            return WalkResult(cycles=outcome.cycles,
+                              memory_refs=outcome.memory_refs,
+                              host_frame=outcome.host_frame,
+                              large=outcome.large)
+        outcome = walker.walk(vaddr)
+        frame = outcome.leaf.frame & ~(addr.page_size(outcome.leaf.large) - 1)
+        return WalkResult(cycles=outcome.cycles,
+                          memory_refs=outcome.memory_refs,
+                          host_frame=frame,
+                          large=outcome.leaf.large)
+
+    def invalidate(self, vm_id: int, asid: int, vaddr: int) -> None:
+        """Drop PSC entries covering ``vaddr`` in every core's walker."""
+        for (core, w_vm, w_asid), walker in self._walkers.items():
+            if (w_vm, w_asid) != (vm_id, asid):
+                continue
+            if isinstance(walker, NestedWalker):
+                walker.guest_psc.invalidate(vaddr)
+            else:
+                walker.psc.invalidate(vaddr)

@@ -1,0 +1,55 @@
+"""DRAM bank model: open-page policy with row-buffer state.
+
+A bank serves one access at a time in this model; the cost of an access
+depends on the relationship between the requested row and the row
+currently latched in the bank's row buffer:
+
+* **row hit** — the row is already open: pay ``tCAS``.
+* **row miss (bank idle)** — no row open: pay ``tRCD + tCAS``.
+* **row conflict** — a different row is open: pay ``tRP + tRCD + tCAS``.
+
+All costs are in memory-bus cycles; the channel converts them to CPU
+cycles.  The paper's Figure 11 reports the resulting row-buffer hit
+rate for POM-TLB traffic, which this model tracks per bank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import DramTimingConfig
+from ..common.stats import StatGroup
+
+
+class DramBank:
+    """One bank with an open-page row buffer."""
+
+    def __init__(self, index: int, timing: DramTimingConfig, stats: StatGroup) -> None:
+        self.index = index
+        self._timing = timing
+        self._stats = stats
+        self._open_row: Optional[int] = None
+
+    @property
+    def open_row(self) -> Optional[int]:
+        """Row currently latched in the row buffer, or None when idle."""
+        return self._open_row
+
+    def access(self, row: int) -> int:
+        """Access ``row``; returns the cost in bus cycles and updates state."""
+        timing = self._timing
+        if self._open_row == row:
+            self._stats.inc("row_hits")
+            return timing.tcas
+        if self._open_row is None:
+            self._stats.inc("row_misses")
+            cost = timing.trcd + timing.tcas
+        else:
+            self._stats.inc("row_conflicts")
+            cost = timing.trp + timing.trcd + timing.tcas
+        self._open_row = row
+        return cost
+
+    def precharge(self) -> None:
+        """Close the open row (e.g. refresh or explicit precharge)."""
+        self._open_row = None

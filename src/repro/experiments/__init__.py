@@ -1,0 +1,21 @@
+"""Experiment drivers regenerating every paper table and figure."""
+
+from . import (ablations, campaign, consolidation, contention, details,
+               figures, tables, tradeoff)
+from .report import Report
+from .runner import BenchmarkRun, ExperimentParams, SuiteRunner
+
+__all__ = [
+    "BenchmarkRun",
+    "ExperimentParams",
+    "Report",
+    "SuiteRunner",
+    "ablations",
+    "campaign",
+    "consolidation",
+    "contention",
+    "details",
+    "figures",
+    "tables",
+    "tradeoff",
+]

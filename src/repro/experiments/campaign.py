@@ -1,0 +1,63 @@
+"""Full evaluation campaign: regenerate every table and figure in one go.
+
+``run_all`` executes the complete paper evaluation — Tables 1-2 and
+Figures 1-4 and 8-12 plus the Section 4.6 sensitivity studies — sharing
+one memoised :class:`SuiteRunner` so each (benchmark, scheme, params)
+simulation happens exactly once.  The rendered text is what
+EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Iterable, List, Optional, TextIO
+
+from ..workloads.suite import BENCHMARKS
+from . import figures, tables
+from .report import Report
+from .runner import ExperimentParams, SuiteRunner
+
+#: Subset used for the (expensive) sensitivity sweeps; spans the
+#: pattern space: pointer-chase, random, scan, grid, graph, mixed.
+SENSITIVITY_BENCHMARKS = ("astar", "gups", "mcf", "lbm",
+                          "ccomponent", "streamcluster")
+
+
+def run_all(params: Optional[ExperimentParams] = None,
+            benchmarks: Iterable[str] = (),
+            out: TextIO = sys.stdout,
+            include_sensitivity: bool = True) -> List[Report]:
+    """Run the whole campaign, streaming rendered reports to ``out``."""
+    params = params or ExperimentParams.from_env()
+    runner = SuiteRunner(params)
+    names = list(benchmarks) or list(BENCHMARKS)
+    reports: List[Report] = []
+
+    def emit(report: Report) -> None:
+        reports.append(report)
+        out.write(report.render())
+        out.write("\n\n")
+        out.flush()
+
+    started = time.time()
+    out.write(f"# POM-TLB evaluation campaign\n"
+              f"# params: {params}\n\n")
+    emit(tables.table1(params.system_config()))
+    emit(tables.table2())
+    emit(figures.fig1_walk_steps())
+    emit(figures.fig4_sram_latency())
+    emit(figures.fig8_performance(runner, names))
+    emit(figures.fig9_hit_ratio(runner, names))
+    emit(figures.fig10_predictors(runner, names))
+    emit(figures.fig11_row_buffer(runner, names))
+    emit(figures.fig2_translation_cycles(runner, names))
+    emit(figures.fig3_virt_native_ratio(runner, names))
+    emit(figures.fig12_caching_ablation(runner, names))
+    if include_sensitivity:
+        sens = [b for b in SENSITIVITY_BENCHMARKS if b in names]
+        emit(figures.sensitivity_capacity(runner, sens))
+        emit(figures.sensitivity_cores(runner, sens))
+    out.write(f"# campaign finished in {time.time() - started:.0f}s\n")
+    out.flush()
+    return reports

@@ -1,0 +1,68 @@
+"""Per-benchmark deep dive: where every L2 TLB miss went and what it cost.
+
+``benchmark_details`` decomposes one POM-TLB run into the quantities a
+user needs when a workload under- or over-performs: miss pressure
+(MPKI), how misses resolved (L2D$ / L3D$ / stacked DRAM / second-size
+retry / walk), predictor behaviour, and DRAM row-buffer quality.  It is
+the diagnostic companion to the aggregate figures.
+"""
+
+from __future__ import annotations
+
+from ..core.system import SimulationResult
+from .report import Report
+from .runner import SuiteRunner
+
+
+def benchmark_details(runner: SuiteRunner, benchmark: str) -> Report:
+    """Everything the simulator knows about one benchmark's POM run."""
+    run = runner.run(benchmark, "pom")
+    result: SimulationResult = run.result
+    stats = result.stats
+    flow = stats.groups().get("pom_flow")
+    report = Report(
+        title=f"Details: {benchmark} under the POM-TLB "
+              f"({runner.params.num_cores} cores)",
+        headers=("metric", "value"))
+
+    report.add_row("references (steady state)", result.references)
+    report.add_row("L2 TLB misses", result.l2_tlb_misses)
+    report.add_row("L2 TLB MPKI", result.mpki)
+    report.add_row("avg penalty per miss (cycles)",
+                   result.avg_penalty_per_miss)
+    report.add_row("anchored improvement (%)", run.improvement_percent)
+    report.add_row("page walks", result.page_walks)
+    report.add_row("walk elimination", result.walk_elimination)
+
+    if flow is not None and result.l2_tlb_misses:
+        misses = result.l2_tlb_misses
+        report.add_row("resolved on first size try",
+                       flow["resolved_first_try"] / misses)
+        report.add_row("resolved on second size try",
+                       flow["resolved_second_try"] / misses)
+        report.add_row("resolved by page walk",
+                       flow["resolved_by_walk"] / misses)
+        fetches = sum(flow[key] for key in
+                      ("set_from_l2", "set_from_l3", "set_from_dram",
+                       "set_from_dram_bypass", "set_from_dram_uncached"))
+        if fetches:
+            report.add_row("set fetches served by L2D$",
+                           flow["set_from_l2"] / fetches)
+            report.add_row("set fetches served by L3D$",
+                           flow["set_from_l3"] / fetches)
+            report.add_row("set fetches from stacked DRAM",
+                           (flow["set_from_dram"]
+                            + flow["set_from_dram_bypass"]
+                            + flow["set_from_dram_uncached"]) / fetches)
+        if "prefetches" in flow:
+            report.add_row("prefetches issued", int(flow["prefetches"]))
+
+    accuracy = result.predictor_accuracy()
+    report.add_row("size predictor accuracy", accuracy["size"])
+    report.add_row("bypass predictor accuracy", accuracy["bypass"])
+    report.add_row("stacked-DRAM row-buffer hit rate",
+                   result.row_buffer_hit_rate())
+    report.add_row("POM-TLB set-probe hit rate", result.pom_hit_ratio())
+    report.add_note("set-fetch shares count every candidate-line fetch, "
+                    "including second-size retries")
+    return report

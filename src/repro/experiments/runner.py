@@ -1,0 +1,128 @@
+"""Experiment runner: one place that turns (benchmark, scheme) into results.
+
+Every figure driver goes through :class:`SuiteRunner` so that workload
+generation, machine construction, warmup policy and the Eq. 2-5 anchor
+application are identical across figures — and so results are memoised
+when one harness regenerates several figures from the same runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..common import addr
+from ..common.config import PomTlbConfig, PredictorConfig, SystemConfig
+from ..core.perfmodel import PerformanceEstimate, estimate
+from ..core.system import Machine, SimulationResult
+from ..workloads.suite import BENCHMARKS, get_profile
+
+
+@dataclass(frozen=True)
+class ExperimentParams:
+    """Knobs shared by every experiment.
+
+    The defaults reproduce the paper's 8-core configuration at a
+    footprint scale tractable for pure-Python simulation.  Environment
+    variables ``POMTLB_CORES``, ``POMTLB_REFS``, ``POMTLB_SCALE`` and
+    ``POMTLB_SEED`` override them, which is how the benchmark harness is
+    shrunk or grown without touching code.
+    """
+
+    num_cores: int = 8
+    refs_per_core: int = 6000
+    scale: float = 1.0
+    seed: int = 42
+    pom_size_bytes: int = 16 * addr.MiB
+    cache_tlb_entries: bool = True
+    virtualized: bool = True
+    # Extension / ablation knobs (paper Sections 2.2, 5.1, footnote 2):
+    l4_data_cache_bytes: int = 0
+    tlb_priority: bool = False
+    predictor_entries: int = 512
+    size_counter_bits: int = 1
+    bypass_enabled: bool = True
+    tlb_prefetch: bool = False
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExperimentParams":
+        """Build params from the environment, then apply ``overrides``."""
+        env = {
+            "num_cores": int(os.environ.get("POMTLB_CORES", 8)),
+            "refs_per_core": int(os.environ.get("POMTLB_REFS", 6000)),
+            "scale": float(os.environ.get("POMTLB_SCALE", 1.0)),
+            "seed": int(os.environ.get("POMTLB_SEED", 42)),
+        }
+        env.update(overrides)
+        return cls(**env)
+
+    def system_config(self) -> SystemConfig:
+        return SystemConfig(
+            num_cores=self.num_cores,
+            pom_tlb=PomTlbConfig(size_bytes=self.pom_size_bytes),
+            predictor=PredictorConfig(
+                entries=self.predictor_entries,
+                size_counter_bits=self.size_counter_bits,
+                bypass_enabled=self.bypass_enabled),
+            cache_tlb_entries=self.cache_tlb_entries,
+            virtualized=self.virtualized,
+            l4_data_cache_bytes=self.l4_data_cache_bytes,
+            tlb_prefetch=self.tlb_prefetch,
+        )
+
+
+@dataclass
+class BenchmarkRun:
+    """Simulation result + anchored performance estimate for one run."""
+
+    benchmark: str
+    scheme: str
+    result: SimulationResult
+    performance: PerformanceEstimate
+
+    @property
+    def improvement_percent(self) -> float:
+        return self.performance.improvement_percent
+
+
+class SuiteRunner:
+    """Runs suite benchmarks under schemes, memoising by configuration."""
+
+    def __init__(self, params: Optional[ExperimentParams] = None) -> None:
+        self.params = params or ExperimentParams()
+        self._cache: Dict[Tuple, BenchmarkRun] = {}
+
+    def run(self, benchmark: str, scheme: str,
+            params: Optional[ExperimentParams] = None) -> BenchmarkRun:
+        """Run one (benchmark, scheme) pair; cached per parameter set."""
+        params = params or self.params
+        key = (benchmark, scheme, params)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        profile = get_profile(benchmark)
+        workload = profile.build(num_cores=params.num_cores,
+                                 refs_per_core=params.refs_per_core,
+                                 seed=params.seed, scale=params.scale)
+        machine = Machine(params.system_config(), scheme=scheme,
+                          thp_large_fraction=profile.thp_large_fraction,
+                          seed=params.seed,
+                          tlb_priority=params.tlb_priority)
+        result = machine.run(
+            workload.streams,
+            warmup_references=workload.warmup_by_core
+            or workload.warmup_references)
+        anchor = profile.anchor(virtualized=params.virtualized)
+        perf = estimate(anchor, result.l2_tlb_misses, result.penalty_cycles)
+        run = BenchmarkRun(benchmark=benchmark, scheme=scheme,
+                           result=result, performance=perf)
+        self._cache[key] = run
+        return run
+
+    def run_suite(self, scheme: str, benchmarks: Iterable[str] = (),
+                  params: Optional[ExperimentParams] = None
+                  ) -> List[BenchmarkRun]:
+        """Run every benchmark (or a subset) under one scheme."""
+        names = list(benchmarks) or BENCHMARKS
+        return [self.run(name, scheme, params) for name in names]

@@ -1,0 +1,58 @@
+"""Table 1 (system parameters) and Table 2 (benchmark characteristics)."""
+
+from __future__ import annotations
+
+from ..common import addr
+from ..common.config import SystemConfig
+from ..workloads.suite import BENCHMARKS, get_profile
+from .report import Report
+
+
+def table1(config: SystemConfig = None) -> Report:
+    """Table 1: the experimental parameters actually in force."""
+    config = config or SystemConfig()
+    report = Report(title="Table 1: Experimental Parameters",
+                    headers=("component", "parameter", "value"))
+    report.add_row("processor", "frequency", f"{config.cpu_mhz / 1000:g} GHz")
+    for cache in (config.l1d, config.l2d, config.l3d):
+        report.add_row("cache", cache.name,
+                       f"{addr.pretty_size(cache.size_bytes)}, {cache.ways} way, "
+                       f"{cache.latency_cycles} cycles")
+    mmu = config.mmu
+    for tlb in (mmu.l1_small, mmu.l1_large, mmu.l2_unified):
+        report.add_row("mmu", tlb.name,
+                       f"{tlb.entries} entries, {tlb.ways} way, "
+                       f"{tlb.miss_penalty_cycles} cycle miss penalty")
+    psc = config.walk_cache
+    report.add_row("psc", "pml4/pdp/pde",
+                   f"{psc.pml4_entries}/{psc.pdp_entries}/{psc.pde_entries} "
+                   f"entries, {psc.hit_latency_cycles} cycle")
+    for dram in (config.stacked_dram, config.main_dram):
+        report.add_row("dram", dram.name,
+                       f"{dram.bus_mhz} MHz bus, {dram.bus_bits} bits, "
+                       f"{dram.row_buffer_bytes} B row, "
+                       f"tCAS-tRCD-tRP {dram.tcas}-{dram.trcd}-{dram.trp}")
+    pom = config.pom_tlb
+    report.add_row("pom_tlb", "capacity",
+                   f"{addr.pretty_size(pom.size_bytes)}, {pom.ways} way, "
+                   f"{pom.small_sets + pom.large_sets} sets")
+    return report
+
+
+def table2() -> Report:
+    """Table 2: benchmark characteristics (the paper's measured anchors)."""
+    report = Report(
+        title="Table 2: Benchmark Characteristics Related to TLB misses",
+        headers=("benchmark", "overhead_native_%", "overhead_virtual_%",
+                 "cycles_per_miss_native", "cycles_per_miss_virtual",
+                 "frac_large_pages_%"))
+    for name in BENCHMARKS:
+        profile = get_profile(name)
+        report.add_row(name, profile.overhead_native_pct,
+                       profile.overhead_virtual_pct,
+                       profile.cycles_per_miss_native,
+                       profile.cycles_per_miss_virtual,
+                       profile.large_page_fraction_pct)
+    report.add_note("values are the paper's Skylake measurements, which "
+                    "anchor the Eq. 2-5 performance model")
+    return report

@@ -1,0 +1,55 @@
+"""Section 2.2 trade-off: the same 16 MB as L4 data cache vs L3 TLB.
+
+The paper argues the die-stacked capacity saves more cycles as a very
+large TLB than as yet another data-cache level, because a TLB hit can
+replace up to 24 dependent memory references and translation is
+blocking.  This experiment runs three machines per benchmark —
+
+* plain baseline (page walks, no stacked DRAM use),
+* baseline + 16 MB stacked L4 **data** cache, and
+* POM-TLB using the same 16 MB,
+
+— and reports the cycles each alternative saves per kilo-reference,
+split into translation savings and data-access savings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List
+
+from ..workloads.suite import BENCHMARKS
+from .report import Report
+from .runner import SuiteRunner
+
+
+def _benchmarks(subset: Iterable[str]) -> List[str]:
+    return list(subset) or list(BENCHMARKS)
+
+
+def tradeoff_l4_vs_tlb(runner: SuiteRunner,
+                       benchmarks: Iterable[str] = ()) -> Report:
+    """Cycles saved per 1000 references: L4 data cache vs POM-TLB."""
+    report = Report(
+        title="Section 2.2 trade-off: 16MB as L4 data cache vs L3 TLB "
+              "(cycles saved per kilo-reference)",
+        headers=("benchmark", "l4_data_saving", "pom_translation_saving",
+                 "winner"))
+    l4_params = dataclasses.replace(
+        runner.params, l4_data_cache_bytes=runner.params.pom_size_bytes)
+    for name in _benchmarks(benchmarks):
+        base = runner.run(name, "baseline")
+        with_l4 = runner.run(name, "baseline", l4_params)
+        pom = runner.run(name, "pom")
+        refs = max(1, base.result.references)
+        data_saving = 1000.0 * (base.result.data_cycles
+                                - with_l4.result.data_cycles) / refs
+        translation_saving = 1000.0 * (base.result.penalty_cycles
+                                       - pom.result.penalty_cycles) / refs
+        winner = ("pom_tlb" if translation_saving > data_saving
+                  else "l4_cache")
+        report.add_row(name, data_saving, translation_saving, winner)
+    pom_wins = sum(1 for row in report.rows if row[3] == "pom_tlb")
+    report.add_note(f"POM-TLB wins on {pom_wins}/{len(report.rows)} "
+                    "benchmarks (the paper's Section 2.2 argument)")
+    return report

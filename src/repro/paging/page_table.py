@@ -1,0 +1,227 @@
+"""x86-64-style 4-level radix page table.
+
+One :class:`RadixPageTable` maps an input address space onto an output
+address space — used twice in virtualized mode:
+
+* the **guest** table maps gVA -> gPA, its table frames allocated from
+  guest-physical memory, and
+* the **host** table maps gPA -> hPA, its table frames allocated from
+  host-physical memory.
+
+Tables are modelled at entry granularity so the walkers can issue the
+*exact* memory references of a hardware walk: every level touched yields
+one PTE address (``table base + 8 * index``) that goes through the data
+caches and DRAM.
+
+Levels follow the paper's Figure 1 numbering: level 4 = PML4 (root),
+3 = PDPT, 2 = PD, 1 = PT.  A 2 MiB mapping terminates at level 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common import addr
+from ..common.errors import AddressError, TranslationFault
+
+PTE_BYTES = 8
+
+#: signature of a frame allocator: returns the base address of a fresh
+#: 4 KiB frame in the table's output address space.
+FrameAllocator = Callable[[], int]
+
+
+@dataclass(frozen=True)
+class LeafMapping:
+    """Result of a successful walk: the mapped frame and its size."""
+
+    frame: int  # frame base address in the output address space
+    large: bool
+
+    def translate(self, vaddr: int) -> int:
+        """Apply the mapping to a full input address."""
+        return self.frame | addr.page_offset(vaddr, self.large)
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One memory reference of a table walk."""
+
+    level: int       # 4 = PML4 .. 1 = PT
+    pte_paddr: int   # address of the entry in the output address space
+
+
+class _TableNode:
+    """One 4 KiB table: 512 entries, each a child node or a leaf."""
+
+    __slots__ = ("base", "children", "leaves")
+
+    def __init__(self, base: int) -> None:
+        self.base = base
+        self.children: Dict[int, "_TableNode"] = {}
+        self.leaves: Dict[int, LeafMapping] = {}
+
+    def entry_paddr(self, index: int) -> int:
+        return self.base + PTE_BYTES * index
+
+
+class RadixPageTable:
+    """A 4-level radix tree with explicit table frame addresses."""
+
+    def __init__(self, frame_allocator: FrameAllocator, name: str = "pt") -> None:
+        self.name = name
+        self._alloc = frame_allocator
+        self._root = _TableNode(self._alloc())
+        self._mapped_small = 0
+        self._mapped_large = 0
+
+    @property
+    def root_base(self) -> int:
+        """Address of the root (PML4) table frame — the CR3 analogue."""
+        return self._root.base
+
+    # -- construction --------------------------------------------------------
+
+    def map_page(self, vaddr: int, frame: int, large: bool = False,
+                 writable: bool = True) -> None:
+        """Install a mapping for the page containing ``vaddr``.
+
+        ``frame`` must be aligned to the page size.  Re-mapping an already
+        mapped page replaces the leaf (the OS changing a mapping).
+        """
+        if frame & (addr.page_size(large) - 1):
+            raise AddressError(
+                f"frame {frame:#x} not aligned to {'2MiB' if large else '4KiB'}")
+        leaf_level = 2 if large else 1
+        node = self._root
+        for level in range(addr.RADIX_LEVELS, leaf_level, -1):
+            index = addr.radix_index(vaddr, level)
+            if index in node.leaves:
+                raise AddressError(
+                    f"{self.name}: VA {vaddr:#x} already covered by a large page")
+            child = node.children.get(index)
+            if child is None:
+                child = _TableNode(self._alloc())
+                node.children[index] = child
+            node = child
+        index = addr.radix_index(vaddr, leaf_level)
+        if large and index in node.children:
+            raise AddressError(
+                f"{self.name}: VA {vaddr:#x} already covered by small pages")
+        if index not in node.leaves:
+            if large:
+                self._mapped_large += 1
+            else:
+                self._mapped_small += 1
+        node.leaves[index] = LeafMapping(frame=frame, large=large)
+
+    def unmap_page(self, vaddr: int, large: bool = False) -> bool:
+        """Remove the leaf for the page containing ``vaddr``."""
+        leaf_level = 2 if large else 1
+        node = self._root
+        for level in range(addr.RADIX_LEVELS, leaf_level, -1):
+            node = node.children.get(addr.radix_index(vaddr, level))
+            if node is None:
+                return False
+        index = addr.radix_index(vaddr, leaf_level)
+        if index in node.leaves:
+            del node.leaves[index]
+            if large:
+                self._mapped_large -= 1
+            else:
+                self._mapped_small -= 1
+            return True
+        return False
+
+    # -- walking ------------------------------------------------------------
+
+    def walk(self, vaddr: int) -> Tuple[List[WalkStep], LeafMapping]:
+        """Full walk from the root; returns the steps and the leaf.
+
+        Raises :class:`TranslationFault` when the address is unmapped.
+        """
+        return self.walk_from(vaddr, addr.RADIX_LEVELS, self._root.base)
+
+    def walk_from(self, vaddr: int, start_level: int,
+                  table_base: int) -> Tuple[List[WalkStep], LeafMapping]:
+        """Walk starting at ``start_level`` (a PSC hit skips upper levels).
+
+        ``table_base`` must be the base of the level-``start_level`` table
+        covering ``vaddr`` — i.e. what the PSC cached.
+        """
+        node = self._node_at(vaddr, start_level, table_base)
+        steps: List[WalkStep] = []
+        level = start_level
+        while True:
+            index = addr.radix_index(vaddr, level)
+            steps.append(WalkStep(level=level, pte_paddr=node.entry_paddr(index)))
+            leaf = node.leaves.get(index)
+            if leaf is not None:
+                if (leaf.large and level != 2) or (not leaf.large and level != 1):
+                    raise AddressError(
+                        f"{self.name}: leaf at wrong level {level}")
+                return steps, leaf
+            child = node.children.get(index)
+            if child is None:
+                raise TranslationFault(vaddr, space=self.name)
+            node = child
+            level -= 1
+
+    def table_base(self, vaddr: int, level: int) -> Optional[int]:
+        """Base address of the level-``level`` table covering ``vaddr``.
+
+        Used when refilling a paging-structure cache after a walk.  The
+        returned table is the one whose entries are indexed at ``level``;
+        ``None`` when the covering table does not exist (or ``level`` is
+        the root, which needs no cache).
+        """
+        node = self._root
+        for lvl in range(addr.RADIX_LEVELS, level, -1):
+            node = node.children.get(addr.radix_index(vaddr, lvl))
+            if node is None:
+                return None
+        return node.base
+
+    def _node_at(self, vaddr: int, level: int, expected_base: int) -> _TableNode:
+        node = self._root
+        for lvl in range(addr.RADIX_LEVELS, level, -1):
+            node = node.children.get(addr.radix_index(vaddr, lvl))
+            if node is None:
+                raise TranslationFault(vaddr, space=self.name)
+        if node.base != expected_base:
+            raise AddressError(
+                f"{self.name}: stale table base {expected_base:#x} at level {level}")
+        return node
+
+    # -- functional lookup (no timing) ----------------------------------------
+
+    def lookup(self, vaddr: int) -> Optional[LeafMapping]:
+        """Translate without recording steps; ``None`` when unmapped."""
+        node = self._root
+        for level in range(addr.RADIX_LEVELS, 0, -1):
+            index = addr.radix_index(vaddr, level)
+            leaf = node.leaves.get(index)
+            if leaf is not None:
+                return leaf
+            node = node.children.get(index)
+            if node is None:
+                return None
+        return None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def mapped_pages(self) -> Tuple[int, int]:
+        """(small, large) leaf counts."""
+        return self._mapped_small, self._mapped_large
+
+    def table_count(self) -> int:
+        """Number of table frames allocated (root included)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count

@@ -1,0 +1,38 @@
+"""TLB entry and key types shared by all translation structures.
+
+A translation is identified by the tuple (VM ID, process/ASID, VPN, page
+size) — the same fields the paper's POM-TLB metadata stores (Figure 5:
+valid, VM ID, Process ID, VPN, PPN, attributes).  Keys are plain tuples
+in the hot path; this module gives them a named, documented shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+
+class TlbKey(NamedTuple):
+    """Identity of one translation, unique system-wide."""
+
+    vm_id: int
+    asid: int
+    vpn: int
+    large: bool
+
+
+@dataclass
+class TlbEntry:
+    """Payload of one translation: the host-physical frame + attributes.
+
+    ``writable`` stands in for the protection bits of the paper's ``attr``
+    field; LRU bits are kept by the containing structure, not the entry.
+    """
+
+    ppn: int
+    writable: bool = True
+
+    def translate(self, vaddr: int, page_shift: int) -> int:
+        """Apply this mapping to a full virtual address."""
+        offset_mask = (1 << page_shift) - 1
+        return (self.ppn << page_shift) | (vaddr & offset_mask)

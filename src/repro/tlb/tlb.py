@@ -1,0 +1,132 @@
+"""Set-associative SRAM TLB (L1 split / L2 unified / shared baselines).
+
+Lookups are keyed by :class:`~repro.tlb.entry.TlbKey`.  A unified TLB in
+real hardware probes its sets once per supported page size; here the MMU
+probes with the translation's true size, which produces identical
+hit/miss outcomes (a wrong-size probe can never hit: the entry was
+installed under its true size).
+
+Invalidation supports the shootdown granularities the paper's
+mostly-inclusive consistency scheme needs: single page, ASID, VM, or
+full flush.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common import addr
+from ..common.config import TlbConfig
+from ..common.stats import StatGroup
+from ..cache.replacement import LruPolicy
+from .entry import TlbEntry, TlbKey
+
+
+class SramTlb:
+    """One SRAM TLB level."""
+
+    def __init__(self, config: TlbConfig, stats: StatGroup) -> None:
+        self.config = config
+        self.stats = stats
+        self._num_sets = config.num_sets
+        self._set_mask = self._num_sets - 1
+        self._sets: Tuple[Dict[TlbKey, TlbEntry], ...] = tuple(
+            {} for _ in range(self._num_sets))
+        self._lru: Tuple[LruPolicy, ...] = tuple(
+            LruPolicy() for _ in range(self._num_sets))
+
+    def _set_index(self, key: TlbKey) -> int:
+        # XOR in vm/asid so co-running guests spread over the sets; the
+        # paper applies the same trick to the POM-TLB set mapping.
+        return (key.vpn ^ (key.vm_id * 0x9E37) ^ (key.asid * 0x85EB)) & self._set_mask
+
+    # -- operations -----------------------------------------------------------
+
+    def lookup(self, key: TlbKey) -> Optional[TlbEntry]:
+        """Probe for ``key``; refreshes recency and stats."""
+        set_idx = self._set_index(key)
+        entry = self._sets[set_idx].get(key)
+        if entry is not None:
+            self.stats.inc("hits")
+            self._lru[set_idx].touch(key)
+            return entry
+        self.stats.inc("misses")
+        return None
+
+    def contains(self, key: TlbKey) -> bool:
+        """Presence check with no side effects."""
+        return key in self._sets[self._set_index(key)]
+
+    def insert(self, key: TlbKey, entry: TlbEntry) -> Optional[TlbKey]:
+        """Install a translation; returns the evicted key, if any."""
+        set_idx = self._set_index(key)
+        entries = self._sets[set_idx]
+        lru = self._lru[set_idx]
+        evicted: Optional[TlbKey] = None
+        if key not in entries and len(entries) >= self.config.ways:
+            evicted = lru.victim()
+            del entries[evicted]
+            lru.remove(evicted)
+            self.stats.inc("evictions")
+        entries[key] = entry
+        lru.touch(key)
+        self.stats.inc("fills")
+        return evicted
+
+    # -- invalidation (TLB shootdown support) -------------------------------
+
+    def invalidate_page(self, key: TlbKey) -> bool:
+        """Drop one translation (shootdown of a single page)."""
+        set_idx = self._set_index(key)
+        if key in self._sets[set_idx]:
+            del self._sets[set_idx][key]
+            self._lru[set_idx].remove(key)
+            self.stats.inc("shootdowns")
+            return True
+        return False
+
+    def invalidate_asid(self, vm_id: int, asid: int) -> int:
+        """Drop all translations of one guest process; returns count."""
+        return self._invalidate_if(lambda k: k.vm_id == vm_id and k.asid == asid)
+
+    def invalidate_vm(self, vm_id: int) -> int:
+        """Drop all translations of one VM (e.g. VM teardown)."""
+        return self._invalidate_if(lambda k: k.vm_id == vm_id)
+
+    def flush(self) -> int:
+        """Full flush; returns the number of entries dropped."""
+        return self._invalidate_if(lambda k: True)
+
+    def _invalidate_if(self, predicate) -> int:
+        dropped = 0
+        for entries, lru in zip(self._sets, self._lru):
+            doomed = [key for key in entries if predicate(key)]
+            for key in doomed:
+                del entries[key]
+                lru.remove(key)
+            dropped += len(doomed)
+        if dropped:
+            self.stats.inc("shootdowns", dropped)
+        return dropped
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def keys(self) -> List[TlbKey]:
+        """All resident translations (tests and consistency checks)."""
+        found: List[TlbKey] = []
+        for entries in self._sets:
+            found.extend(entries)
+        return found
+
+    def hit_rate(self) -> float:
+        return self.stats.ratio("hits", "lookups") if "lookups" in self.stats else (
+            self.stats["hits"] / (self.stats["hits"] + self.stats["misses"])
+            if (self.stats["hits"] + self.stats["misses"]) else 0.0)
+
+    @property
+    def reach_bytes(self) -> int:
+        """Bytes of address space covered if filled with 4 KiB entries."""
+        return self.config.entries * addr.SMALL_PAGE_SIZE

@@ -1,0 +1,15 @@
+"""Virtualization substrate: physical memory, THP, VMs, demand paging."""
+
+from .memory_manager import PhysicalMemory
+from .thp import ThpPolicy
+from .vm import GuestProcess, Host, NativeProcess, ResolvedPage, VirtualMachine
+
+__all__ = [
+    "GuestProcess",
+    "Host",
+    "NativeProcess",
+    "PhysicalMemory",
+    "ResolvedPage",
+    "ThpPolicy",
+    "VirtualMachine",
+]

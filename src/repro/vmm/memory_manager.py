@@ -1,0 +1,63 @@
+"""Physical frame allocators for host and guest address spaces.
+
+First-touch bump allocation from two disjoint regions (4 KiB frames low,
+2 MiB frames high) — the simple policy gives sequentially-touched pages
+physical adjacency, which is what a freshly booted Linux with THP does
+and what the DRAM row-buffer study expects.
+"""
+
+from __future__ import annotations
+
+from ..common import addr
+from ..common.errors import AddressError
+
+
+class PhysicalMemory:
+    """Frame allocator over one contiguous physical region."""
+
+    def __init__(self, base: int = 0, size_bytes: int = 64 * addr.GiB,
+                 large_region_fraction: float = 0.5) -> None:
+        if base & (addr.LARGE_PAGE_SIZE - 1):
+            raise AddressError("physical region base must be 2MiB aligned")
+        if not 0.0 < large_region_fraction < 1.0:
+            raise AddressError("large_region_fraction must be in (0,1)")
+        self.base = base
+        self.size_bytes = size_bytes
+        split = addr.align_up(base + int(size_bytes * (1 - large_region_fraction)),
+                              addr.LARGE_PAGE_SIZE)
+        self._small_next = base
+        self._small_limit = split
+        self._large_next = split
+        self._large_limit = base + size_bytes
+
+    def alloc_frame(self, large: bool = False) -> int:
+        """Return the base address of a fresh small or large frame."""
+        if large:
+            frame = self._large_next
+            if frame + addr.LARGE_PAGE_SIZE > self._large_limit:
+                raise AddressError("out of 2MiB frames")
+            self._large_next = frame + addr.LARGE_PAGE_SIZE
+            return frame
+        frame = self._small_next
+        if frame + addr.SMALL_PAGE_SIZE > self._small_limit:
+            raise AddressError("out of 4KiB frames")
+        self._small_next = frame + addr.SMALL_PAGE_SIZE
+        return frame
+
+    def alloc_small(self) -> int:
+        """Convenience wrapper used as a page-table frame allocator."""
+        return self.alloc_frame(large=False)
+
+    @property
+    def small_allocated(self) -> int:
+        """Number of 4 KiB frames handed out so far."""
+        return (self._small_next - self.base) // addr.SMALL_PAGE_SIZE
+
+    @property
+    def large_allocated(self) -> int:
+        """Number of 2 MiB frames handed out so far."""
+        return (self._large_next - self._small_limit) // addr.LARGE_PAGE_SIZE
+
+    @property
+    def bytes_allocated(self) -> int:
+        return (self._small_next - self.base) + (self._large_next - self._small_limit)

@@ -1,0 +1,34 @@
+"""Workloads: trace format, pattern generators, the Table 2 suite."""
+
+from . import analysis, graphgen, synthetic
+from .consolidation import ConsolidatedWorkload, VmAssignment, build_consolidation
+from .suite import BENCHMARKS, SUITE, BenchmarkProfile, Region, Workload, get_profile
+from .trace import (
+    CoreStream,
+    MemoryReference,
+    interleave,
+    load_stream,
+    save_stream,
+    validate_stream,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "ConsolidatedWorkload",
+    "CoreStream",
+    "MemoryReference",
+    "Region",
+    "SUITE",
+    "VmAssignment",
+    "Workload",
+    "analysis",
+    "build_consolidation",
+    "get_profile",
+    "graphgen",
+    "interleave",
+    "load_stream",
+    "save_stream",
+    "synthetic",
+    "validate_stream",
+]

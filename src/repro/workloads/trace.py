@@ -1,0 +1,146 @@
+"""Memory-trace format.
+
+A trace is what the paper's PIN + pagemap tooling produced: per-thread
+streams of memory references annotated with the instruction count at
+which they issue.  The simulator merges per-core streams by instruction
+order (Ramulator-style issue cadence); the instruction counts therefore
+also encode how much non-memory work separates the references.
+
+Records are deliberately minimal — ``(icount, vaddr, write)`` — page
+sizes and physical placement are decided by the simulated OS (THP policy
++ demand paging), exactly as in the paper's methodology where pagemap
+metadata comes from the OS, not the application.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, NamedTuple, Sequence
+
+from ..common.errors import TraceFormatError
+
+
+class MemoryReference(NamedTuple):
+    """One memory instruction of a trace."""
+
+    icount: int  # instructions retired before this reference (per thread)
+    vaddr: int   # virtual address touched
+    write: bool  # store (True) or load (False)
+
+
+@dataclass
+class CoreStream:
+    """The reference stream one core executes, plus its software context."""
+
+    core: int
+    vm_id: int
+    asid: int
+    references: Sequence[MemoryReference] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[MemoryReference]:
+        return iter(self.references)
+
+    def __len__(self) -> int:
+        return len(self.references)
+
+    @property
+    def instructions(self) -> int:
+        """Instructions the stream represents (icount of the last ref)."""
+        return self.references[-1].icount if self.references else 0
+
+
+# -- serialization -------------------------------------------------------------
+#
+# One line per record: "<icount> <vaddr-hex> <R|W>", preceded by a single
+# header line "#pomtlb-trace core=<c> vm=<v> asid=<a>".  Gzip when the
+# path ends in .gz.  The format is intentionally greppable.
+
+_HEADER_PREFIX = "#pomtlb-trace"
+
+
+def _open(path: str, mode: str):
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return io.open(path, mode)
+
+
+def save_stream(stream: CoreStream, path: str) -> None:
+    """Write one core's stream to ``path`` (gzip if ``.gz``)."""
+    with _open(path, "w") as out:
+        out.write(f"{_HEADER_PREFIX} core={stream.core} "
+                  f"vm={stream.vm_id} asid={stream.asid}\n")
+        for ref in stream.references:
+            out.write(f"{ref.icount} {ref.vaddr:x} {'W' if ref.write else 'R'}\n")
+
+
+def load_stream(path: str) -> CoreStream:
+    """Read one core's stream back from ``path``."""
+    with _open(path, "r") as inp:
+        header = inp.readline().strip()
+        if not header.startswith(_HEADER_PREFIX):
+            raise TraceFormatError(f"{path}: missing trace header")
+        fields = dict(part.split("=", 1) for part in header.split()[1:])
+        try:
+            stream = CoreStream(core=int(fields["core"]),
+                                vm_id=int(fields["vm"]),
+                                asid=int(fields["asid"]))
+        except KeyError as missing:
+            raise TraceFormatError(f"{path}: header missing {missing}") from None
+        refs: List[MemoryReference] = []
+        for lineno, line in enumerate(inp, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 3 or parts[2] not in ("R", "W"):
+                raise TraceFormatError(f"{path}:{lineno}: bad record {line!r}")
+            try:
+                refs.append(MemoryReference(icount=int(parts[0]),
+                                            vaddr=int(parts[1], 16),
+                                            write=parts[2] == "W"))
+            except ValueError:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: bad record {line!r}") from None
+        stream.references = refs
+        return stream
+
+
+def validate_stream(stream: CoreStream) -> None:
+    """Check trace invariants; raises :class:`TraceFormatError`.
+
+    Instruction counts must be non-decreasing (references issue in
+    program order) and addresses non-negative.
+    """
+    last = -1
+    for position, ref in enumerate(stream.references):
+        if ref.icount < last:
+            raise TraceFormatError(
+                f"record {position}: icount {ref.icount} goes backwards")
+        if ref.vaddr < 0:
+            raise TraceFormatError(f"record {position}: negative address")
+        last = ref.icount
+
+
+def interleave(streams: Iterable[CoreStream]) -> Iterator[tuple]:
+    """Merge streams by instruction count: yields (stream, reference).
+
+    Ties break by core id so runs are deterministic.
+    """
+    import heapq
+
+    heap = []
+    iterators = []
+    for stream in streams:
+        iterator = iter(stream.references)
+        iterators.append((stream, iterator))
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(heap, (first.icount, stream.core, len(iterators) - 1, first))
+    while heap:
+        _icount, _core, index, ref = heapq.heappop(heap)
+        stream, iterator = iterators[index]
+        yield stream, ref
+        nxt = next(iterator, None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt.icount, stream.core, index, nxt))

@@ -1,0 +1,110 @@
+"""Unit tests for dirty-line tracking and write-back modeling."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common import addr
+from repro.common.config import CacheConfig, SystemConfig
+from repro.common.stats import StatGroup, StatRegistry
+
+
+def small_cache(ways=1):
+    cfg = CacheConfig(name="c", size_bytes=2 * addr.KiB, ways=ways,
+                      latency_cycles=4)
+    return SetAssociativeCache(cfg, StatGroup("c"))
+
+
+class TestDirtyTracking:
+    def test_mark_dirty_requires_residency(self):
+        c = small_cache()
+        assert not c.mark_dirty(0x40)
+        c.fill(0x40)
+        assert c.mark_dirty(0x40)
+        assert c.is_dirty(0x40)
+
+    def test_fill_dirty(self):
+        c = small_cache()
+        c.fill(0x40, dirty=True)
+        assert c.is_dirty(0x40)
+
+    def test_eviction_reports_dirtiness(self):
+        c = small_cache(ways=1)
+        stride = c.config.num_sets * 64
+        c.fill(0x40, dirty=True)
+        evicted = c.fill(0x40 + stride)
+        assert evicted == 0x40
+        assert c.last_evicted_dirty
+
+    def test_clean_eviction_not_flagged(self):
+        c = small_cache(ways=1)
+        stride = c.config.num_sets * 64
+        c.fill(0x40)
+        c.fill(0x40 + stride)
+        assert not c.last_evicted_dirty
+
+    def test_invalidate_clears_dirty(self):
+        c = small_cache()
+        c.fill(0x40, dirty=True)
+        c.invalidate(0x40)
+        c.fill(0x40)
+        assert not c.is_dirty(0x40)
+
+    def test_flush_clears_dirty(self):
+        c = small_cache()
+        c.fill(0x40, dirty=True)
+        c.flush()
+        c.fill(0x40)
+        assert not c.is_dirty(0x40)
+
+
+class TestHierarchyWriteback:
+    def make(self, enabled):
+        config = SystemConfig(num_cores=1, writeback_modeling=enabled)
+        stats = StatRegistry()
+        return CacheHierarchy(config, stats), stats
+
+    def test_disabled_by_default_no_wb_stats(self):
+        hierarchy, stats = self.make(False)
+        hierarchy.data_access(0, 0x1000, is_write=True)
+        assert stats["writebacks"].as_dict() == {}
+
+    def test_write_dirties_l1(self):
+        hierarchy, _ = self.make(True)
+        hierarchy.data_access(0, 0x1000, is_write=True)
+        assert hierarchy.l1(0).is_dirty(0x1000)
+
+    def test_dirty_l1_victim_lands_in_l2(self):
+        hierarchy, stats = self.make(True)
+        hierarchy.data_access(0, 0x1000, is_write=True)
+        # Evict 0x1000 from L1 by filling its set (8 ways, 64 sets).
+        l1_stride = 64 * 64
+        for i in range(1, 10):
+            hierarchy.data_access(0, 0x1000 + i * l1_stride)
+        assert stats["writebacks"]["l1_to_l2"] >= 1
+        assert hierarchy.l2(0).is_dirty(0x1000)
+
+    def test_reads_never_write_back(self):
+        hierarchy, stats = self.make(True)
+        for i in range(200):
+            hierarchy.data_access(0, 0x1000 + i * 4096, is_write=False)
+        assert stats["writebacks"].as_dict() == {}
+
+    def test_dirty_chain_reaches_memory_under_pressure(self):
+        hierarchy, stats = self.make(True)
+        # Stream writes through more lines than the 8 MiB L3 holds
+        # (131072): dirty victims must eventually leave for memory.
+        for i in range(140_000):
+            hierarchy.data_access(0, i * 64, is_write=True)
+        assert stats["writebacks"]["l3_to_memory"] > 0
+
+    def test_default_behaviour_identical_with_flag_off(self):
+        """The flag must not perturb hit/miss behaviour when off."""
+        plain, plain_stats = self.make(False)
+        seq = [(i * 4096) % (1 << 20) for i in range(3000)]
+        cycles_plain = [plain.data_access(0, a, is_write=i % 3 == 0)
+                        for i, a in enumerate(seq)]
+        again, _ = self.make(False)
+        cycles_again = [again.data_access(0, a, is_write=i % 3 == 0)
+                        for i, a in enumerate(seq)]
+        assert cycles_plain == cycles_again

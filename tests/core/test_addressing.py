@@ -1,0 +1,75 @@
+"""Unit tests for POM-TLB set addressing (paper Eq. 1)."""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import PomTlbConfig
+from repro.core.addressing import PomTlbAddressing
+
+
+@pytest.fixture
+def addressing():
+    return PomTlbAddressing(PomTlbConfig())
+
+
+class TestSetIndex:
+    def test_index_in_range(self, addressing):
+        cfg = addressing.config
+        for va in (0, 0x1234567, 1 << 40):
+            assert 0 <= addressing.set_index(va, 0, False) < cfg.small_sets
+            assert 0 <= addressing.set_index(va, 0, True) < cfg.large_sets
+
+    def test_same_small_page_same_set(self, addressing):
+        assert addressing.set_index(0x5000, 0, False) == \
+            addressing.set_index(0x5FFF, 0, False)
+
+    def test_adjacent_pages_adjacent_sets(self, addressing):
+        # VPN indexes directly, so consecutive pages fill consecutive
+        # sets — the spatial locality behind the Fig 11 row-buffer hits.
+        a = addressing.set_index(0x5000, 0, False)
+        b = addressing.set_index(0x6000, 0, False)
+        assert b == (a + 1) % addressing.config.small_sets
+
+    def test_vm_id_changes_mapping(self, addressing):
+        assert addressing.set_index(0x5000, 0, False) != \
+            addressing.set_index(0x5000, 1, False)
+
+    def test_large_uses_21_bit_shift(self, addressing):
+        assert addressing.set_index(0, 0, True) == \
+            addressing.set_index(addr.LARGE_PAGE_SIZE - 1, 0, True)
+        assert addressing.set_index(0, 0, True) != \
+            addressing.set_index(addr.LARGE_PAGE_SIZE, 0, True)
+
+
+class TestSetAddress:
+    def test_small_partition_range(self, addressing):
+        cfg = addressing.config
+        a = addressing.set_address(0x5000, 0, False)
+        assert cfg.small_base <= a < cfg.small_base + cfg.small_size_bytes
+
+    def test_large_partition_range(self, addressing):
+        cfg = addressing.config
+        a = addressing.set_address(0x5000, 0, True)
+        assert cfg.large_base <= a < cfg.large_base + cfg.large_size_bytes
+
+    def test_addresses_are_line_aligned(self, addressing):
+        for va in (0, 0x1000, 0xABCDE000):
+            assert addressing.set_address(va, 3, False) % 64 == 0
+            assert addressing.set_address(va, 3, True) % 64 == 0
+
+    def test_partition_of(self, addressing):
+        small = addressing.set_address(0x1000, 0, False)
+        large = addressing.set_address(0x1000, 0, True)
+        assert addressing.partition_of(small) is False
+        assert addressing.partition_of(large) is True
+
+    def test_partition_of_rejects_outside_range(self, addressing):
+        with pytest.raises(ValueError):
+            addressing.partition_of(0x1000)
+
+    def test_distinct_pages_can_conflict_only_modulo_sets(self, addressing):
+        cfg = addressing.config
+        va = 0x7000
+        conflict_va = va + cfg.small_sets * addr.SMALL_PAGE_SIZE
+        assert addressing.set_address(va, 0, False) == \
+            addressing.set_address(conflict_va, 0, False)

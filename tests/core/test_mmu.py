@@ -1,0 +1,234 @@
+"""Unit tests for the translation schemes (paper Figure 7 flow and baselines)."""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import SystemConfig
+from repro.core.system import Machine
+
+
+def make_machine(scheme, large_fraction=0.0, **config_overrides):
+    config = SystemConfig(num_cores=2).copy_with(**config_overrides)
+    return Machine(config, scheme=scheme, thp_large_fraction=large_fraction,
+                   seed=7)
+
+
+def translate(machine, vaddr, core=0, vm=0, asid=1):
+    page = machine.touch(vm, asid, vaddr)
+    return machine.scheme.translate(core, vm, asid, vaddr, page)
+
+
+class TestFrontEnd:
+    """L1/L2 TLB behaviour shared by all schemes."""
+
+    def test_first_access_misses_l2(self):
+        m = make_machine("baseline")
+        result = translate(m, 0x1000)
+        assert result.l2_miss
+        assert result.penalty > 0
+
+    def test_repeat_access_hits_l1(self):
+        m = make_machine("baseline")
+        translate(m, 0x1000)
+        result = translate(m, 0x1000)
+        assert not result.l2_miss
+        assert result.penalty == 0
+        assert result.cycles == 1  # L1 TLB latency
+
+    def test_l1_evicted_entry_hits_l2(self):
+        m = make_machine("baseline")
+        translate(m, 0x1000)
+        # Blow the L1 set (4 ways, 16 sets -> stride of 16 pages) with a
+        # few fills while staying well inside the 12-way L2 TLB sets.
+        for i in range(1, 30):
+            translate(m, 0x1000 + i * addr.SMALL_PAGE_SIZE * 16)
+        result = translate(m, 0x1000)
+        assert not result.l2_miss
+        assert result.cycles == 1 + 9  # L1 + L2 latency
+
+    def test_penalty_includes_l2_miss_overhead(self):
+        m = make_machine("baseline")
+        result = translate(m, 0x1000)
+        assert result.penalty >= m.config.mmu.l2_unified.miss_penalty_cycles
+
+    def test_large_pages_use_the_large_l1(self):
+        m = make_machine("baseline", large_fraction=1.0)
+        translate(m, 0x1000)
+        stats = m.stats["core0.l1_tlb_2m"]
+        assert stats["misses"] == 1
+        assert m.stats["core0.l1_tlb_4k"]["misses"] == 0
+
+
+class TestBaselineWalkScheme:
+    def test_every_l2_miss_walks(self):
+        m = make_machine("baseline")
+        for va in (0x1000, 0x2000, 0x3000):
+            translate(m, va)
+        assert m.stats["mmu"]["page_walks"] == 3
+
+    def test_walk_cycles_accumulate(self):
+        m = make_machine("baseline")
+        translate(m, 0x1000)
+        assert m.stats["mmu"]["page_walk_cycles"] > 0
+
+
+class TestPomTlbScheme:
+    def test_first_miss_walks_and_fills_pom(self):
+        m = make_machine("pom")
+        translate(m, 0x1000)
+        assert m.stats["mmu"]["page_walks"] == 1
+        assert m.stats["pom_flow"]["resolved_by_walk"] == 1
+
+    def test_pom_hit_after_private_tlbs_flushed(self):
+        m = make_machine("pom")
+        translate(m, 0x1000)
+        # Drop only the private SRAM TLBs; POM keeps the entry.
+        for tlbs in m.scheme.cores:
+            tlbs.l1_small.flush()
+            tlbs.l2.flush()
+        result = translate(m, 0x1000)
+        assert result.l2_miss
+        assert m.stats["mmu"]["page_walks"] == 1  # no second walk
+        assert m.stats["pom_flow"]["resolved_first_try"] == 1
+
+    def test_pom_resolution_is_cheaper_than_walk(self):
+        m = make_machine("pom")
+        first = translate(m, 0x1000)
+        for tlbs in m.scheme.cores:
+            tlbs.l1_small.flush()
+            tlbs.l2.flush()
+        second = translate(m, 0x1000)
+        assert second.penalty < first.penalty
+
+    def test_entry_is_shared_across_cores(self):
+        m = make_machine("pom")
+        translate(m, 0x1000, core=0)
+        result = translate(m, 0x1000, core=1)
+        assert result.l2_miss  # core 1's private TLBs were cold
+        assert m.stats["mmu"]["page_walks"] == 1  # but POM had it
+
+    def test_set_fetch_prefers_data_caches(self):
+        m = make_machine("pom")
+        # Access 1: walk + fill.  The bypass bit trains toward bypass
+        # (the line was not cached before the walk), so access 2 goes to
+        # DRAM, observes the line is now cached, and untrains.  Access 3
+        # probes the data caches and hits.
+        for _ in range(3):
+            translate(m, 0x1000)
+            for tlbs in m.scheme.cores:
+                tlbs.l1_small.flush()
+                tlbs.l2.flush()
+        flow = m.stats["pom_flow"]
+        assert flow["set_from_l2"] + flow["set_from_l3"] >= 1
+
+    def test_caching_disabled_goes_straight_to_dram(self):
+        m = make_machine("pom", cache_tlb_entries=False)
+        translate(m, 0x1000)
+        flow = m.stats["pom_flow"]
+        assert flow["set_from_dram_uncached"] >= 1
+        assert flow.get("set_from_l2", 0) == 0
+
+    def test_size_predictor_learns_large_pages(self):
+        m = make_machine("pom", large_fraction=1.0)
+        translate(m, 0x1000)          # mispredicts small first
+        flow_before = m.stats["pom_flow"]["resolved_second_try"]
+        for tlbs in m.scheme.cores:
+            tlbs.l1_large.flush()
+            tlbs.l2.flush()
+        translate(m, 0x1000)          # now predicts large
+        assert m.stats["core0.predictor"]["size_wrong"] == 1
+        assert m.stats["core0.predictor"]["size_correct"] >= 1
+
+    def test_translation_correctness_under_pom(self):
+        m = make_machine("pom")
+        page = m.touch(0, 1, 0x1000)
+        m.scheme.translate(0, 0, 1, 0x1000, page)
+        entry = m.scheme.pom.probe(
+            0x1000, _key(m, 0, 1, 0x1000, page.large))
+        assert entry.ppn == page.host_frame >> addr.SMALL_PAGE_SHIFT
+
+
+def _key(machine, vm, asid, vaddr, large):
+    from repro.tlb.entry import TlbKey
+    return TlbKey(vm_id=vm, asid=asid,
+                  vpn=vaddr >> addr.page_shift(large), large=large)
+
+
+class TestSharedL2Scheme:
+    def test_shared_hit_counts_extra_latency_as_penalty(self):
+        m = make_machine("shared_l2")
+        translate(m, 0x1000)  # cold: walk
+        # Evict from core-0 L1 only (L1 is tiny); shared retains it.
+        m.scheme.cores[0].l1_small.flush()
+        result = translate(m, 0x1000)
+        assert not result.l2_miss
+        assert result.penalty > 0  # shared array slower than private L2
+
+    def test_entry_shared_across_cores_without_walk(self):
+        m = make_machine("shared_l2")
+        translate(m, 0x1000, core=0)
+        translate(m, 0x1000, core=1)
+        assert m.stats["mmu"]["page_walks"] == 1
+
+    def test_miss_walks(self):
+        m = make_machine("shared_l2")
+        translate(m, 0x1000)
+        assert m.stats["mmu"]["page_walks"] == 1
+        assert m.stats["mmu"]["l2_tlb_misses"] == 1
+
+
+class TestTsbScheme:
+    def test_tsb_miss_walks_and_fills(self):
+        m = make_machine("tsb")
+        translate(m, 0x1000)
+        assert m.stats["mmu"]["page_walks"] == 1
+        assert m.scheme.tsb.occupancy() == {"guest": 1, "host": 1}
+
+    def test_tsb_hit_avoids_walk(self):
+        m = make_machine("tsb")
+        translate(m, 0x1000)
+        for tlbs in m.scheme.cores:
+            tlbs.l1_small.flush()
+            tlbs.l2.flush()
+        result = translate(m, 0x1000)
+        assert result.l2_miss
+        assert m.stats["mmu"]["page_walks"] == 1
+
+    def test_every_miss_pays_the_trap(self):
+        m = make_machine("tsb")
+        result = translate(m, 0x1000)
+        assert result.penalty >= m.scheme.tsb_config.trap_cycles
+
+    def test_tsb_hit_still_pays_trap_plus_two_accesses(self):
+        m = make_machine("tsb")
+        translate(m, 0x1000)
+        for tlbs in m.scheme.cores:
+            tlbs.l1_small.flush()
+            tlbs.l2.flush()
+        result = translate(m, 0x1000)
+        # Trap plus two dependent memory accesses (L1 hits at best).
+        assert result.penalty >= m.scheme.tsb_config.trap_cycles + 8
+
+
+class TestShootdown:
+    @pytest.mark.parametrize("scheme", ["baseline", "pom", "shared_l2", "tsb"])
+    def test_shootdown_forces_rewalk(self, scheme):
+        m = make_machine(scheme)
+        translate(m, 0x1000)
+        walks_before = m.stats["mmu"]["page_walks"]
+        m.scheme.shootdown(0, 1, 0x1000, large=False)
+        result = translate(m, 0x1000)
+        assert result.l2_miss
+        assert m.stats["mmu"]["page_walks"] == walks_before + 1
+
+    def test_shootdown_counter(self):
+        m = make_machine("pom")
+        translate(m, 0x1000)
+        m.scheme.shootdown(0, 1, 0x1000, large=False)
+        assert m.stats["mmu"]["shootdowns"] == 1
+
+
+class TestMakeScheme:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            make_machine("magic")

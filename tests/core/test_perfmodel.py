@@ -1,0 +1,98 @@
+"""Unit tests for the Eq. 2-5 performance model."""
+
+import pytest
+
+from repro.core.perfmodel import (
+    BaselineAnchor,
+    estimate,
+    geometric_mean,
+)
+
+
+class TestBaselineAnchor:
+    def test_valid(self):
+        anchor = BaselineAnchor(overhead_pct=16.0, cycles_per_l2_miss=114)
+        assert anchor.overhead_pct == 16.0
+
+    def test_rejects_bad_overhead(self):
+        with pytest.raises(ValueError):
+            BaselineAnchor(overhead_pct=-1, cycles_per_l2_miss=100)
+        with pytest.raises(ValueError):
+            BaselineAnchor(overhead_pct=100, cycles_per_l2_miss=100)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            BaselineAnchor(overhead_pct=10, cycles_per_l2_miss=-5)
+
+
+class TestEstimate:
+    def test_equations_2_to_4(self):
+        # 10% overhead, 100 cycles/miss, 1000 misses.
+        anchor = BaselineAnchor(overhead_pct=10.0, cycles_per_l2_miss=100)
+        est = estimate(anchor, l2_tlb_misses=1000, scheme_penalty_cycles=50_000)
+        assert est.baseline_penalty == 100_000          # P_total = M * P_avg
+        assert est.baseline_cycles == 1_000_000         # C_total = P/0.1
+        assert est.ideal_cycles == 900_000              # Eq. 2
+        assert est.scheme_cycles == 950_000             # Eq. 4
+
+    def test_improvement_percent(self):
+        anchor = BaselineAnchor(overhead_pct=10.0, cycles_per_l2_miss=100)
+        est = estimate(anchor, 1000, 50_000)
+        assert est.speedup == pytest.approx(1_000_000 / 950_000)
+        assert est.improvement_percent == pytest.approx(5.263, abs=0.01)
+
+    def test_perfect_scheme_recovers_full_overhead(self):
+        anchor = BaselineAnchor(overhead_pct=10.0, cycles_per_l2_miss=100)
+        est = estimate(anchor, 1000, 0)
+        assert est.improvement_percent == pytest.approx(100 / 9, abs=0.01)
+
+    def test_scheme_equal_to_baseline_is_zero_improvement(self):
+        anchor = BaselineAnchor(overhead_pct=10.0, cycles_per_l2_miss=100)
+        est = estimate(anchor, 1000, 100_000)
+        assert est.improvement_percent == pytest.approx(0.0)
+
+    def test_worse_scheme_is_negative(self):
+        anchor = BaselineAnchor(overhead_pct=10.0, cycles_per_l2_miss=100)
+        est = estimate(anchor, 1000, 200_000)
+        assert est.improvement_percent < 0
+
+    def test_no_misses_is_a_wash(self):
+        anchor = BaselineAnchor(overhead_pct=10.0, cycles_per_l2_miss=100)
+        est = estimate(anchor, 0, 0)
+        assert est.improvement_percent == 0.0
+        assert est.speedup == 1.0
+
+    def test_zero_overhead_is_a_wash(self):
+        anchor = BaselineAnchor(overhead_pct=0.0, cycles_per_l2_miss=100)
+        est = estimate(anchor, 1000, 50_000)
+        assert est.improvement_percent == 0.0
+
+    def test_rejects_negative_inputs(self):
+        anchor = BaselineAnchor(overhead_pct=10.0, cycles_per_l2_miss=100)
+        with pytest.raises(ValueError):
+            estimate(anchor, -1, 0)
+        with pytest.raises(ValueError):
+            estimate(anchor, 1, -1)
+
+    def test_higher_overhead_means_more_headroom(self):
+        low = BaselineAnchor(overhead_pct=2.0, cycles_per_l2_miss=100)
+        high = BaselineAnchor(overhead_pct=19.0, cycles_per_l2_miss=100)
+        est_low = estimate(low, 1000, 10_000)
+        est_high = estimate(high, 1000, 10_000)
+        assert est_high.improvement_percent > est_low.improvement_percent
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,142 @@
+"""Unit tests for the POM-TLB structure."""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import PomTlbConfig, SystemConfig
+from repro.common.stats import StatRegistry
+from repro.core.pom_tlb import PomTlb
+from repro.tlb.entry import TlbEntry, TlbKey
+
+
+def make_pom(size_mb=16):
+    cfg = SystemConfig(pom_tlb=PomTlbConfig(size_bytes=size_mb * addr.MiB))
+    return PomTlb(cfg, StatRegistry())
+
+
+def key(vpn, vm=0, asid=0, large=False):
+    return TlbKey(vm_id=vm, asid=asid, vpn=vpn, large=large)
+
+
+class TestProbeInsert:
+    def test_cold_probe_misses(self):
+        pom = make_pom()
+        assert pom.probe(0x5000, key(5)) is None
+        assert pom.stats["misses_small"] == 1
+
+    def test_insert_then_hit(self):
+        pom = make_pom()
+        pom.insert(0x5000, key(5), TlbEntry(ppn=99))
+        entry = pom.probe(0x5000, key(5))
+        assert entry is not None and entry.ppn == 99
+        assert pom.stats["hits_small"] == 1
+
+    def test_partitions_are_independent(self):
+        pom = make_pom()
+        pom.insert(0x5000, key(5, large=False), TlbEntry(1))
+        assert pom.probe(0x5000, key(0, large=True)) is None
+        assert pom.stats["misses_large"] == 1
+
+    def test_vm_and_asid_disambiguate(self):
+        pom = make_pom()
+        pom.insert(0x5000, key(5, vm=1, asid=1), TlbEntry(1))
+        assert pom.probe(0x5000, key(5, vm=2, asid=1)) is None
+        assert pom.probe(0x5000, key(5, vm=1, asid=2)) is None
+
+    def test_reinsert_updates(self):
+        pom = make_pom()
+        pom.insert(0x5000, key(5), TlbEntry(1))
+        pom.insert(0x5000, key(5), TlbEntry(2))
+        assert pom.probe(0x5000, key(5)).ppn == 2
+        assert pom.occupancy()["small"] == 1
+
+    def test_contains_has_no_side_effects(self):
+        pom = make_pom()
+        pom.insert(0x5000, key(5), TlbEntry(1))
+        before = dict(pom.stats.as_dict())
+        assert pom.contains(0x5000, key(5))
+        assert dict(pom.stats.as_dict()) == before
+
+
+class TestAssociativityAndLru:
+    def conflict_vas(self, pom, count):
+        """Virtual addresses all mapping to small-partition set 0, VM 0."""
+        stride = pom.config.small_sets * addr.SMALL_PAGE_SIZE
+        return [i * stride for i in range(count)]
+
+    def test_four_ways_coexist(self):
+        pom = make_pom()
+        vas = self.conflict_vas(pom, 4)
+        for va in vas:
+            pom.insert(va, key(va >> 12), TlbEntry(va >> 12))
+        for va in vas:
+            assert pom.probe(va, key(va >> 12)) is not None
+
+    def test_fifth_way_evicts_lru(self):
+        pom = make_pom()
+        vas = self.conflict_vas(pom, 5)
+        for va in vas[:4]:
+            pom.insert(va, key(va >> 12), TlbEntry(1))
+        pom.probe(vas[0], key(vas[0] >> 12))  # refresh the oldest
+        _, evicted = pom.insert(vas[4], key(vas[4] >> 12), TlbEntry(1))
+        assert evicted == key(vas[1] >> 12)  # second-oldest was LRU
+        assert pom.stats["evictions"] == 1
+
+    def test_insert_returns_set_address(self):
+        pom = make_pom()
+        set_paddr, _ = pom.insert(0x5000, key(5), TlbEntry(1))
+        assert set_paddr == pom.set_address(0x5000, 0, False)
+        assert pom.config.contains(set_paddr)
+
+
+class TestDramTiming:
+    def test_dram_access_returns_cycles(self):
+        pom = make_pom()
+        cycles = pom.dram_access(pom.set_address(0x5000, 0, False))
+        assert cycles > 0
+
+    def test_same_row_accesses_hit_row_buffer(self):
+        pom = make_pom()
+        a = pom.set_address(0x5000, 0, False)
+        pom.dram_access(a)
+        cold = pom.stats  # row stats live on the stacked_dram group
+        first = pom.dram.stats["row_hits"]
+        pom.dram_access(a + 64)  # neighbouring set, same 2KiB row
+        assert pom.dram.stats["row_hits"] == first + 1
+
+
+class TestInvalidation:
+    def test_invalidate_present_returns_set_address(self):
+        pom = make_pom()
+        pom.insert(0x5000, key(5), TlbEntry(1))
+        set_paddr = pom.invalidate(0x5000, key(5))
+        assert set_paddr == pom.set_address(0x5000, 0, False)
+        assert pom.probe(0x5000, key(5)) is None
+
+    def test_invalidate_absent_returns_none(self):
+        pom = make_pom()
+        assert pom.invalidate(0x5000, key(5)) is None
+
+    def test_invalidate_vm(self):
+        pom = make_pom()
+        pom.insert(0x1000, key(1, vm=1), TlbEntry(1))
+        pom.insert(0x2000, key(2, vm=1), TlbEntry(2))
+        pom.insert(0x3000, key(3, vm=2), TlbEntry(3))
+        assert pom.invalidate_vm(1) == 2
+        assert pom.occupancy()["small"] == 1
+
+
+class TestCapacityAndReach:
+    def test_reach_is_orders_of_magnitude_beyond_sram(self):
+        pom = make_pom(16)
+        # 8MiB small partition = 512K entries covering 2GiB, plus the
+        # large partition covering 1TiB — paper: "orders of magnitude
+        # larger than today's on-chip TLBs".
+        assert pom.reach_bytes > 1 << 40
+
+    def test_hit_rate(self):
+        pom = make_pom()
+        pom.insert(0x5000, key(5), TlbEntry(1))
+        pom.probe(0x5000, key(5))
+        pom.probe(0x6000, key(6))
+        assert pom.hit_rate() == pytest.approx(0.5)

@@ -1,0 +1,56 @@
+"""Unit tests for TLB shootdown cost accounting."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.system import Machine
+
+
+def make_machine(scheme, cores=2):
+    return Machine(SystemConfig(num_cores=cores), scheme=scheme, seed=3)
+
+
+def touch_translate(machine, va=0x3000):
+    page = machine.touch(0, 1, va)
+    machine.scheme.translate(0, 0, 1, va, page)
+    return page
+
+
+class TestShootdownCost:
+    @pytest.mark.parametrize("scheme",
+                             ["baseline", "pom", "pom_skewed",
+                              "shared_l2", "tsb"])
+    def test_cost_at_least_base(self, scheme):
+        machine = make_machine(scheme)
+        touch_translate(machine)
+        cycles = machine.shootdown(0, 1, 0x3000)
+        base = machine.scheme.SHOOTDOWN_BASE_CYCLES
+        assert cycles >= base
+
+    def test_cost_scales_with_core_count(self):
+        small = make_machine("baseline", cores=1)
+        big = make_machine("baseline", cores=8)
+        touch_translate(small)
+        touch_translate(big)
+        assert big.shootdown(0, 1, 0x3000) > small.shootdown(0, 1, 0x3000)
+
+    def test_pom_shootdown_pays_dram_writeback(self):
+        pom = make_machine("pom")
+        base = make_machine("baseline")
+        touch_translate(pom)
+        touch_translate(base)
+        # The POM set exists and must be written back, so its shootdown
+        # costs more than the SRAM-only baseline's.
+        assert pom.shootdown(0, 1, 0x3000) > base.shootdown(0, 1, 0x3000)
+
+    def test_cycles_accumulate_in_stats(self):
+        machine = make_machine("pom")
+        touch_translate(machine)
+        cycles = machine.shootdown(0, 1, 0x3000)
+        assert machine.stats["mmu"]["shootdown_cycles"] == cycles
+        assert machine.stats["mmu"]["shootdowns"] == 1
+
+    def test_shootdown_of_untouched_page_still_costs_ipi(self):
+        machine = make_machine("pom")
+        cycles = machine.shootdown(0, 1, 0x9000)
+        assert cycles >= machine.scheme.SHOOTDOWN_BASE_CYCLES

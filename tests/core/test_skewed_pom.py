@@ -1,0 +1,136 @@
+"""Unit tests for the skew-associative unified POM-TLB (footnote 1)."""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import PomTlbConfig, SystemConfig
+from repro.common.stats import StatRegistry
+from repro.core.skewed_pom import SkewedPomTlb
+from repro.core.system import Machine
+from repro.tlb.entry import TlbEntry, TlbKey
+
+
+def make_skewed(size_mb=1):
+    cfg = SystemConfig(pom_tlb=PomTlbConfig(size_bytes=size_mb * addr.MiB))
+    return SkewedPomTlb(cfg, StatRegistry())
+
+
+def key(vpn, vm=0, asid=0, large=False):
+    return TlbKey(vm_id=vm, asid=asid, vpn=vpn, large=large)
+
+
+class TestStructure:
+    def test_insert_then_probe_some_way_hits(self):
+        pom = make_skewed()
+        pom.insert(key(5), TlbEntry(ppn=9))
+        found = [pom.probe_way(key(5), w) for w in range(4)]
+        hits = [e for e in found if e is not None]
+        assert len(hits) == 1 and hits[0].ppn == 9
+
+    def test_unified_storage_holds_both_sizes(self):
+        pom = make_skewed()
+        pom.insert(key(5, large=False), TlbEntry(1))
+        pom.insert(key(5, large=True), TlbEntry(2))
+        assert pom.contains(key(5, large=False))
+        assert pom.contains(key(5, large=True))
+        occupancy = pom.occupancy()
+        assert occupancy == {"small": 1, "large": 1}
+
+    def test_reinsert_updates_in_place(self):
+        pom = make_skewed()
+        pom.insert(key(5), TlbEntry(1))
+        pom.insert(key(5), TlbEntry(2))
+        assert sum(pom.occupancy().values()) == 1
+
+    def test_ways_use_different_hashes(self):
+        pom = make_skewed()
+        lines = pom.lines_for_key(key(12345))
+        assert len(lines) == 4
+        assert len(set(lines)) >= 2  # skewing: not all the same index
+
+    def test_lines_live_in_distinct_way_regions(self):
+        pom = make_skewed()
+        lines = pom.lines_for_key(key(12345))
+        way_bytes = pom.config.size_bytes // 4
+        regions = {(l - pom.config.base_address) // way_bytes for l in lines}
+        assert regions == {0, 1, 2, 3}
+
+    def test_candidate_lines_are_line_aligned(self):
+        pom = make_skewed()
+        for line in pom.candidate_lines(0x123456789, 3, False):
+            assert line % 64 == 0
+            assert pom.config.contains(line)
+
+
+class TestEviction:
+    def test_eviction_only_when_all_candidates_full(self):
+        pom = make_skewed()
+        # Insert far fewer entries than capacity: no evictions expected.
+        for vpn in range(200):
+            _line, evicted = pom.insert(key(vpn), TlbEntry(vpn))
+            assert evicted is None
+
+    def test_lru_among_candidates(self):
+        pom = make_skewed()
+        # Force conflicts by shrinking: emulate via direct slot collisions
+        # is hash-dependent; instead verify the invariant that an evicted
+        # key is no longer resident.
+        evictions = 0
+        for vpn in range(200000):
+            _line, evicted = pom.insert(key(vpn), TlbEntry(1))
+            if evicted is not None:
+                evictions += 1
+                assert not pom.contains(evicted)
+                break
+        # 1MiB = 64Ki entries; 200k inserts must evict eventually.
+        assert evictions == 1
+
+
+class TestInvalidation:
+    def test_invalidate_present(self):
+        pom = make_skewed()
+        pom.insert(key(5), TlbEntry(1))
+        line = pom.invalidate(key(5))
+        assert line is not None
+        assert not pom.contains(key(5))
+
+    def test_invalidate_absent(self):
+        pom = make_skewed()
+        assert pom.invalidate(key(5)) is None
+
+    def test_invalidate_vm(self):
+        pom = make_skewed()
+        pom.insert(key(1, vm=1), TlbEntry(1))
+        pom.insert(key(2, vm=2), TlbEntry(2))
+        assert pom.invalidate_vm(1) == 1
+        assert sum(pom.occupancy().values()) == 1
+
+
+class TestSchemeIntegration:
+    def test_scheme_eliminates_walks(self):
+        m = Machine(SystemConfig(num_cores=1), scheme="pom_skewed")
+        page = m.touch(0, 1, 0x1000)
+        m.scheme.translate(0, 0, 1, 0x1000, page)
+        for tlbs in m.scheme.cores:
+            tlbs.l1_small.flush()
+            tlbs.l2.flush()
+        m.scheme.translate(0, 0, 1, 0x1000, page)
+        assert m.stats["mmu"]["page_walks"] == 1  # second hit in POM
+
+    def test_scheme_shootdown(self):
+        m = Machine(SystemConfig(num_cores=1), scheme="pom_skewed")
+        page = m.touch(0, 1, 0x1000)
+        m.scheme.translate(0, 0, 1, 0x1000, page)
+        m.scheme.shootdown(0, 1, 0x1000, large=False)
+        m.scheme.translate(0, 0, 1, 0x1000, page)
+        assert m.stats["mmu"]["page_walks"] == 2
+
+    def test_hit_rate_reporting(self):
+        pom = make_skewed()
+        pom.insert(key(5), TlbEntry(1))
+        for w in range(4):
+            if pom.probe_way(key(5), w):
+                break
+        for w in range(4):
+            pom.probe_way(key(99), w)
+        assert 0 < pom.hit_rate() < 1

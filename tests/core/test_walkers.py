@@ -1,0 +1,91 @@
+"""Unit tests for the walker pool."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.config import SystemConfig
+from repro.common.stats import StatRegistry
+from repro.core.walkers import WalkerPool
+from repro.vmm.thp import ThpPolicy
+from repro.vmm.vm import Host, NativeProcess
+
+
+def make_pool(virtualized=True):
+    config = SystemConfig(num_cores=2, virtualized=virtualized)
+    stats = StatRegistry()
+    hierarchy = CacheHierarchy(config, stats)
+    host = Host(memory_bytes=8 << 30)
+    natives = {}
+
+    def resolver(asid):
+        if asid not in natives:
+            natives[asid] = NativeProcess(asid, host.memory, ThpPolicy(0.0))
+        return natives[asid]
+
+    pool = WalkerPool(config, stats, hierarchy, host, native_resolver=resolver)
+    return pool, host, resolver
+
+
+class TestVirtualizedWalks:
+    def test_walk_returns_host_frame(self):
+        pool, host, _ = make_pool()
+        vm = host.create_vm(0, ThpPolicy(0.0))
+        page = vm.touch(1, 0x4000)
+        result = pool.walk(core=0, vm_id=0, asid=1, vaddr=0x4000)
+        assert result.host_frame == page.host_frame
+        assert not result.large
+        assert result.cycles > 0
+        assert result.memory_refs > 4  # nested, not native
+
+    def test_walkers_cached_per_context(self):
+        pool, host, _ = make_pool()
+        host.create_vm(0, ThpPolicy(0.0)).touch(1, 0x4000)
+        pool.walk(0, 0, 1, 0x4000)
+        pool.walk(0, 0, 1, 0x4000)
+        assert len(pool._walkers) == 1
+        pool.walk(1, 0, 1, 0x4000)  # other core: new PSC state
+        assert len(pool._walkers) == 2
+
+    def test_warm_walk_cheaper_than_cold(self):
+        pool, host, _ = make_pool()
+        host.create_vm(0, ThpPolicy(0.0)).touch(1, 0x4000)
+        cold = pool.walk(0, 0, 1, 0x4000)
+        warm = pool.walk(0, 0, 1, 0x4000)
+        assert warm.memory_refs < cold.memory_refs
+
+    def test_invalidate_drops_psc_entries(self):
+        pool, host, _ = make_pool()
+        host.create_vm(0, ThpPolicy(0.0)).touch(1, 0x4000)
+        warm_refs = None
+        pool.walk(0, 0, 1, 0x4000)
+        warm_refs = pool.walk(0, 0, 1, 0x4000).memory_refs
+        pool.invalidate(0, 1, 0x4000)
+        after = pool.walk(0, 0, 1, 0x4000).memory_refs
+        assert after >= warm_refs  # PSC shortcut removed
+
+
+class TestNativeWalks:
+    def test_native_walk(self):
+        pool, _host, resolver = make_pool(virtualized=False)
+        proc = resolver(1)
+        page = proc.touch(0x4000)
+        result = pool.walk(0, 0, 1, 0x4000)
+        assert result.host_frame == page.host_frame
+        assert result.memory_refs == 4  # cold 1-D walk
+
+    def test_native_mode_without_resolver_rejected(self):
+        config = SystemConfig(num_cores=1, virtualized=False)
+        stats = StatRegistry()
+        pool = WalkerPool(config, stats, CacheHierarchy(config, stats),
+                          Host(memory_bytes=1 << 30), native_resolver=None)
+        with pytest.raises(ValueError):
+            pool.walk(0, 0, 1, 0x4000)
+
+    def test_large_page_native_walk(self):
+        pool, _host, resolver = make_pool(virtualized=False)
+        proc = resolver(2)
+        proc.thp = ThpPolicy(1.0)
+        page = proc.touch(0x4000)
+        result = pool.walk(0, 0, 2, 0x4000)
+        assert result.large
+        assert result.host_frame == page.host_frame

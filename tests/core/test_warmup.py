@@ -1,0 +1,71 @@
+"""Unit tests for steady-state (warmup) measurement semantics."""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import SystemConfig
+from repro.core.system import Machine
+from repro.workloads.trace import CoreStream, MemoryReference
+
+
+def two_pass_stream(pages=3000):
+    """Two sequential passes over a footprint bigger than the L2 TLB."""
+    refs = []
+    icount = 0
+    for _ in range(2):
+        for p in range(pages):
+            icount += 10
+            refs.append(MemoryReference(icount, p * addr.SMALL_PAGE_SIZE,
+                                        False))
+    return CoreStream(core=0, vm_id=0, asid=1, references=refs), pages
+
+
+class TestWarmup:
+    def test_warmup_excludes_compulsory_misses(self):
+        stream, pages = two_pass_stream()
+        cold = Machine(SystemConfig(num_cores=1), scheme="pom")
+        warm = Machine(SystemConfig(num_cores=1), scheme="pom")
+        r_cold = cold.run([stream])
+        r_warm = warm.run([stream], warmup_references=pages)
+        # Without warmup, first-touch walks dominate; with warmup, the
+        # POM-TLB already holds everything and no walk remains.
+        assert r_cold.page_walks == pages
+        assert r_warm.page_walks == 0
+        assert r_warm.references == pages  # only the measured pass counts
+
+    def test_warmup_resets_all_statistics(self):
+        stream, pages = two_pass_stream()
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom")
+        result = machine.run([stream], warmup_references=pages)
+        # Eviction/fill counters must reflect only the measured phase:
+        # the POM flow counters cannot exceed measured misses * 2 sizes.
+        flow = result.stats["pom_flow"]
+        resolved = (flow["resolved_first_try"] + flow["resolved_second_try"]
+                    + flow["resolved_by_walk"])
+        assert resolved == result.l2_tlb_misses
+
+    def test_warmup_preserves_structure_state(self):
+        stream, pages = two_pass_stream()
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom")
+        machine.run([stream], warmup_references=pages)
+        # The POM-TLB still holds the warmup-phase insertions.
+        assert machine.scheme.pom.occupancy()["small"] == pages
+
+    def test_instructions_count_measured_phase_only(self):
+        stream, pages = two_pass_stream()
+        machine = Machine(SystemConfig(num_cores=1), scheme="baseline")
+        result = machine.run([stream], warmup_references=pages)
+        assert result.instructions == pytest.approx(pages * 10, rel=0.01)
+
+    def test_warmup_consuming_whole_trace_rejected(self):
+        stream, pages = two_pass_stream(pages=50)
+        machine = Machine(SystemConfig(num_cores=1), scheme="baseline")
+        with pytest.raises(ValueError):
+            machine.run([stream], warmup_references=10 * len(stream))
+
+    def test_zero_warmup_is_default_behaviour(self):
+        stream, _ = two_pass_stream(pages=100)
+        a = Machine(SystemConfig(num_cores=1), scheme="baseline")
+        b = Machine(SystemConfig(num_cores=1), scheme="baseline")
+        assert a.run([stream]).l2_tlb_misses == \
+            b.run([stream], warmup_references=0).l2_tlb_misses

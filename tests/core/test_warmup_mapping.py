@@ -1,0 +1,73 @@
+"""Edge cases for the per-core warmup mapping form of Machine.run."""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import SystemConfig
+from repro.core.system import Machine
+from repro.workloads.trace import CoreStream, MemoryReference
+
+
+def stream(core, pages, ipr, passes=2, asid=None):
+    """Sequential passes; ``ipr`` sets the stream's instruction clock."""
+    refs = []
+    icount = 0
+    for _ in range(passes):
+        for p in range(pages):
+            icount += ipr
+            refs.append(MemoryReference(icount, p * addr.SMALL_PAGE_SIZE,
+                                        False))
+    return CoreStream(core=core, vm_id=0, asid=asid or core + 1,
+                      references=refs)
+
+
+class TestMappingWarmup:
+    def test_mixed_clock_rates_still_warm_both_cores(self):
+        # Core 0 ticks 10x slower; a global count would cut it off
+        # mid-prologue while core 1 races ahead.
+        slow = stream(0, pages=500, ipr=100)
+        fast = stream(1, pages=500, ipr=10)
+        machine = Machine(SystemConfig(num_cores=2), scheme="pom", seed=1)
+        result = machine.run([slow, fast],
+                             warmup_references={0: 500, 1: 500})
+        # Steady state: no walks for either core's second pass.
+        assert result.page_walks == 0
+
+    def test_global_int_form_still_works(self):
+        s = stream(0, pages=300, ipr=10)
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom", seed=1)
+        result = machine.run([s], warmup_references=300)
+        assert result.page_walks == 0
+        assert result.references == 300
+
+    def test_empty_mapping_means_no_warmup(self):
+        s = stream(0, pages=100, ipr=10)
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom", seed=1)
+        result = machine.run([s], warmup_references={})
+        assert result.references == 200  # everything measured
+
+    def test_zero_counts_ignored(self):
+        s = stream(0, pages=100, ipr=10)
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom", seed=1)
+        result = machine.run([s], warmup_references={0: 0})
+        assert result.references == 200
+
+    def test_mapping_exhausting_trace_rejected(self):
+        s = stream(0, pages=50, ipr=10, passes=1)
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom", seed=1)
+        with pytest.raises(ValueError):
+            machine.run([s], warmup_references={0: 500})
+
+    def test_per_core_counts_only_count_their_core(self):
+        # Core 1 delivers many refs before core 0's prologue is done;
+        # those must not drain core 0's budget.
+        slow = stream(0, pages=200, ipr=50)
+        fast = stream(1, pages=1000, ipr=1, passes=1)
+        machine = Machine(SystemConfig(num_cores=2), scheme="baseline",
+                          seed=1)
+        result = machine.run([slow, fast],
+                             warmup_references={0: 200})
+        # Core 0's measured pass re-walks nothing new (same 200 pages),
+        # so walks are only core 1's compulsory misses post-reset.
+        assert machine.stats["core0.l2_tlb"]["misses"] == 0 \
+            or result.page_walks < 1200

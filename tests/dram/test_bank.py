@@ -1,0 +1,48 @@
+"""Unit tests for the DRAM bank row-buffer model."""
+
+from repro.common.config import stacked_dram_timing
+from repro.common.stats import StatGroup
+from repro.dram.bank import DramBank
+
+
+def make_bank():
+    stats = StatGroup("bank")
+    return DramBank(0, stacked_dram_timing(), stats), stats
+
+
+class TestDramBank:
+    def test_first_access_is_row_miss(self):
+        bank, stats = make_bank()
+        cost = bank.access(5)
+        assert cost == 11 + 11  # tRCD + tCAS
+        assert stats["row_misses"] == 1
+
+    def test_repeat_access_is_row_hit(self):
+        bank, stats = make_bank()
+        bank.access(5)
+        cost = bank.access(5)
+        assert cost == 11  # tCAS only
+        assert stats["row_hits"] == 1
+
+    def test_different_row_is_conflict(self):
+        bank, stats = make_bank()
+        bank.access(5)
+        cost = bank.access(6)
+        assert cost == 11 + 11 + 11  # tRP + tRCD + tCAS
+        assert stats["row_conflicts"] == 1
+        assert bank.open_row == 6
+
+    def test_precharge_resets_to_idle(self):
+        bank, stats = make_bank()
+        bank.access(5)
+        bank.precharge()
+        assert bank.open_row is None
+        cost = bank.access(5)
+        assert cost == 22  # row miss again, not a conflict
+        assert stats["row_misses"] == 2
+
+    def test_open_row_tracks_last_access(self):
+        bank, _ = make_bank()
+        assert bank.open_row is None
+        bank.access(3)
+        assert bank.open_row == 3

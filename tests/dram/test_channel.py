@@ -1,0 +1,71 @@
+"""Unit tests for the DRAM channel model."""
+
+import pytest
+
+from repro.common.config import ddr4_timing, stacked_dram_timing
+from repro.common.stats import StatGroup
+from repro.dram.channel import DramChannel, typical_latencies
+
+
+def make_channel(timing=None, cpu_mhz=4000):
+    stats = StatGroup("dram")
+    return DramChannel(timing or stacked_dram_timing(), cpu_mhz, stats), stats
+
+
+class TestDramChannel:
+    def test_latency_is_cpu_cycles(self):
+        ch, _ = make_channel()
+        # Cold access: controller(2) + tRCD+tCAS(22) + burst(64B over
+        # 32B/bus-cycle = 2) = 26 bus cycles = 104 CPU cycles at 4x clock.
+        assert ch.access(0) == 104
+
+    def test_row_hit_is_cheaper(self):
+        ch, _ = make_channel()
+        cold = ch.access(0)
+        warm = ch.access(64)  # same 2KiB row
+        assert warm < cold
+        assert warm == (2 + 11 + 2) * 4
+
+    def test_row_buffer_hit_rate(self):
+        ch, _ = make_channel()
+        ch.access(0)
+        ch.access(64)
+        ch.access(128)
+        assert ch.row_buffer_hit_rate() == pytest.approx(2 / 3)
+
+    def test_hit_rate_zero_when_untouched(self):
+        ch, _ = make_channel()
+        assert ch.row_buffer_hit_rate() == 0.0
+
+    def test_bytes_and_access_counters(self):
+        ch, stats = make_channel()
+        ch.access(0)
+        ch.access(4096, nbytes=128)
+        assert stats["accesses"] == 2
+        assert stats["bytes"] == 64 + 128
+
+    def test_precharge_all_closes_rows(self):
+        ch, _ = make_channel()
+        ch.access(0)
+        ch.precharge_all()
+        # After precharge the same row is a miss, not a hit.
+        assert ch.access(0) == (2 + 22 + 2) * 4
+
+    def test_ddr4_is_slower_than_stacked(self):
+        stacked, _ = make_channel(stacked_dram_timing())
+        ddr4, _ = make_channel(ddr4_timing())
+        assert ddr4.access(0) > stacked.access(0)
+
+    def test_banks_exposed(self):
+        ch, _ = make_channel()
+        assert ch.banks == 16
+
+
+class TestTypicalLatencies:
+    def test_ordering(self):
+        lat = typical_latencies(stacked_dram_timing(), 4000)
+        assert lat["row_hit"] < lat["row_miss"] < lat["row_conflict"]
+
+    def test_values_are_cpu_cycles(self):
+        lat = typical_latencies(stacked_dram_timing(), 4000)
+        assert lat["row_hit"] == (2 + 2 + 11) * 4

@@ -1,0 +1,54 @@
+"""Unit tests for the ablation drivers (tiny configurations)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.runner import ExperimentParams, SuiteRunner
+
+TINY = ExperimentParams(num_cores=1, refs_per_core=400, scale=0.02, seed=3)
+SUBSET = ["gcc", "canneal"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(TINY)
+
+
+class TestTlbPriorityAblation:
+    def test_structure(self, runner):
+        report = ablations.ablation_tlb_priority(runner, SUBSET)
+        assert report.headers == ("benchmark", "lru", "tlb_priority")
+        assert [row[0] for row in report.rows] == SUBSET + ["geomean"]
+
+    def test_values_finite(self, runner):
+        report = ablations.ablation_tlb_priority(runner, SUBSET)
+        for row in report.rows:
+            assert -100 < row[1] < 100
+            assert -100 < row[2] < 100
+
+
+class TestPredictorAblation:
+    def test_all_variants_present(self, runner):
+        report = ablations.ablation_predictor(runner, SUBSET)
+        labels = [row[0] for row in report.rows]
+        assert labels == ["512x1bit (paper)", "512x2bit", "2048x1bit"]
+
+    def test_accuracies_are_probabilities(self, runner):
+        report = ablations.ablation_predictor(runner, SUBSET)
+        for row in report.rows:
+            assert 0.0 <= row[2] <= 1.0
+
+
+class TestBypassAblation:
+    def test_structure(self, runner):
+        report = ablations.ablation_bypass(runner, SUBSET)
+        assert report.headers == ("benchmark", "bypass_on", "bypass_off")
+        assert report.rows[-1][0] == "geomean"
+
+    def test_bypass_off_disables_dram_bypass_path(self, runner):
+        import dataclasses
+        off = dataclasses.replace(TINY, bypass_enabled=False)
+        run = runner.run("gcc", "pom", off)
+        flow = run.result.stats.groups().get("pom_flow")
+        assert flow is not None
+        assert flow["set_from_dram_bypass"] == 0

@@ -1,0 +1,48 @@
+"""Unit tests for the channel-contention study."""
+
+from repro.experiments.contention import _make_stream, channel_contention
+
+
+class TestMakeStream:
+    def test_deterministic(self):
+        a = _make_stream("t", 50, 10.0, 128, seed=4)
+        b = _make_stream("t", 50, 10.0, 128, seed=4)
+        assert [(r.paddr, r.arrival) for r in a] == \
+            [(r.paddr, r.arrival) for r in b]
+
+    def test_arrivals_monotone(self):
+        stream = _make_stream("t", 100, 5.0, 128, seed=4)
+        arrivals = [r.arrival for r in stream]
+        assert arrivals == sorted(arrivals)
+
+    def test_locality_keeps_rows(self):
+        sticky = _make_stream("t", 300, 5.0, 4096, seed=4, locality=0.9)
+        scattered = _make_stream("t", 300, 5.0, 4096, seed=4, locality=0.0)
+        def row_changes(stream):
+            rows = [r.paddr // 2048 for r in stream]
+            return sum(1 for a, b in zip(rows, rows[1:]) if a != b)
+        assert row_changes(sticky) < row_changes(scattered)
+
+    def test_tag_applied(self):
+        assert all(r.tag == "x" for r in _make_stream("x", 10, 5.0, 8, 1))
+
+
+class TestChannelContention:
+    def test_report_structure(self):
+        report = channel_contention(data_intervals=(64, 32),
+                                    requests_per_stream=200)
+        assert len(report.rows) == 2
+        assert report.headers == ("data_interval", "shared_channel",
+                                  "dedicated_channel", "slowdown")
+
+    def test_dedicated_is_load_independent(self):
+        report = channel_contention(data_intervals=(64, 32),
+                                    requests_per_stream=200)
+        dedicated = report.column("dedicated_channel")
+        assert dedicated[0] == dedicated[1]
+
+    def test_shared_slower_under_heavy_load(self):
+        report = channel_contention(data_intervals=(128, 16),
+                                    requests_per_stream=400)
+        slowdown = report.column("slowdown")
+        assert slowdown[-1] > slowdown[0] >= 0.9

@@ -1,0 +1,47 @@
+"""Unit tests for the per-benchmark details report."""
+
+import pytest
+
+from repro.experiments.details import benchmark_details
+from repro.experiments.runner import ExperimentParams, SuiteRunner
+
+# Large enough scale for steady-state misses to exist.
+PARAMS = ExperimentParams(num_cores=1, refs_per_core=2000, scale=0.2,
+                          seed=5)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(PARAMS)
+
+
+class TestBenchmarkDetails:
+    def test_report_for_active_benchmark(self, runner):
+        report = benchmark_details(runner, "gups")
+        metrics = dict(zip(report.column("metric"), report.column("value")))
+        assert metrics["L2 TLB misses"] > 0
+        assert metrics["walk elimination"] > 0.9
+        # Resolution shares are probabilities summing to ~1.
+        shares = (metrics["resolved on first size try"]
+                  + metrics["resolved on second size try"]
+                  + metrics["resolved by page walk"])
+        assert shares == pytest.approx(1.0, abs=1e-6)
+
+    def test_set_fetch_shares_are_probabilities(self, runner):
+        report = benchmark_details(runner, "gups")
+        metrics = dict(zip(report.column("metric"), report.column("value")))
+        fetch_share = (metrics["set fetches served by L2D$"]
+                       + metrics["set fetches served by L3D$"]
+                       + metrics["set fetches from stacked DRAM"])
+        assert fetch_share == pytest.approx(1.0, abs=1e-6)
+
+    def test_quiet_benchmark_degrades_gracefully(self, runner):
+        # At this scale gcc has few or zero misses: the report must not
+        # divide by zero.
+        report = benchmark_details(runner, "gcc")
+        assert report.row("references (steady state)")[1] > 0
+
+    def test_memoised_with_figure_runs(self, runner):
+        first = runner.run("gups", "pom")
+        benchmark_details(runner, "gups")
+        assert runner.run("gups", "pom") is first

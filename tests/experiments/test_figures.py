@@ -1,0 +1,92 @@
+"""Unit tests for the figure drivers (tiny configurations)."""
+
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.runner import ExperimentParams, SuiteRunner
+
+TINY = ExperimentParams(num_cores=1, refs_per_core=400, scale=0.02, seed=3)
+SUBSET = ["gcc", "canneal"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(TINY)
+
+
+class TestStaticReports:
+    def test_table1(self):
+        report = tables.table1()
+        text = report.render()
+        assert "4 GHz" in text
+        assert "16MiB" in text  # POM-TLB capacity
+
+    def test_table2_has_all_benchmarks(self):
+        report = tables.table2()
+        assert len(report.rows) == 15
+        assert report.row("mcf")[4] == 169  # cycles per miss, virtualized
+
+    def test_fig1(self):
+        report = figures.fig1_walk_steps()
+        assert report.row("worst-case references")[1] == 24
+        cold = report.row("cold-walk references (this system)")[1]
+        assert 4 < cold <= 24
+
+    def test_fig4_monotone(self):
+        report = figures.fig4_sram_latency()
+        series = report.column("normalised_latency")
+        assert series == sorted(series)
+        assert series[0] == pytest.approx(1.0)
+
+
+class TestSimulatedFigures:
+    def test_fig8_structure(self, runner):
+        report = figures.fig8_performance(runner, SUBSET)
+        assert report.headers == ("benchmark", "pom", "shared_l2", "tsb")
+        assert [row[0] for row in report.rows] == SUBSET + ["geomean"]
+
+    def test_fig9_ratios_in_range(self, runner):
+        report = figures.fig9_hit_ratio(runner, SUBSET)
+        for row in report.rows:
+            for value in row[1:]:
+                assert 0.0 <= value <= 1.0
+
+    def test_fig10_accuracies_in_range(self, runner):
+        report = figures.fig10_predictors(runner, SUBSET)
+        for row in report.rows:
+            assert 0.0 <= row[1] <= 1.0
+            assert 0.0 <= row[2] <= 1.0
+
+    def test_fig11_rates_in_range(self, runner):
+        report = figures.fig11_row_buffer(runner, SUBSET)
+        for row in report.rows:
+            assert 0.0 <= row[1] <= 1.0
+
+    def test_fig2_columns(self, runner):
+        report = figures.fig2_translation_cycles(runner, SUBSET)
+        assert report.row("gcc")[1] == 88  # paper value carried through
+        # At this tiny scale the footprint can fit the L2 TLB entirely
+        # (zero steady-state misses), so only non-negativity is stable.
+        assert report.row("gcc")[2] >= 0
+
+    def test_fig3_ratios_positive(self, runner):
+        report = figures.fig3_virt_native_ratio(runner, SUBSET)
+        for row in report.rows:
+            assert row[1] > 0
+            assert row[2] >= 0
+
+    def test_fig12_has_both_columns(self, runner):
+        report = figures.fig12_caching_ablation(runner, ["gcc"])
+        assert report.headers == ("benchmark", "with_caching",
+                                  "without_caching")
+        assert [row[0] for row in report.rows] == ["gcc", "geomean"]
+
+    def test_sensitivity_capacity(self, runner):
+        report = figures.sensitivity_capacity(runner, ["gcc"],
+                                              capacities_mb=(8, 16))
+        assert [row[0] for row in report.rows] == ["8MiB", "16MiB"]
+
+    def test_sensitivity_cores(self, runner):
+        report = figures.sensitivity_cores(runner, ["gcc"],
+                                           core_counts=(1, 2))
+        assert [row[0] for row in report.rows] == [1, 2]

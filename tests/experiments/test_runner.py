@@ -1,0 +1,81 @@
+"""Unit tests for the experiment runner (tiny configurations)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import BenchmarkRun, ExperimentParams, SuiteRunner
+
+TINY = ExperimentParams(num_cores=1, refs_per_core=400, scale=0.02, seed=3)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(TINY)
+
+
+class TestExperimentParams:
+    def test_defaults_are_paper_config(self):
+        params = ExperimentParams()
+        assert params.num_cores == 8
+        assert params.pom_size_bytes == 16 * 1024 * 1024
+        assert params.virtualized
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("POMTLB_CORES", "2")
+        monkeypatch.setenv("POMTLB_SCALE", "0.5")
+        params = ExperimentParams.from_env()
+        assert params.num_cores == 2
+        assert params.scale == 0.5
+
+    def test_from_env_overrides_win(self, monkeypatch):
+        monkeypatch.setenv("POMTLB_CORES", "2")
+        params = ExperimentParams.from_env(num_cores=4)
+        assert params.num_cores == 4
+
+    def test_system_config_reflects_params(self):
+        params = ExperimentParams(pom_size_bytes=8 * 1024 * 1024,
+                                  cache_tlb_entries=False, num_cores=4)
+        cfg = params.system_config()
+        assert cfg.pom_tlb.size_bytes == 8 * 1024 * 1024
+        assert not cfg.cache_tlb_entries
+        assert cfg.num_cores == 4
+
+    def test_params_hashable(self):
+        assert hash(ExperimentParams()) == hash(ExperimentParams())
+
+
+class TestSuiteRunner:
+    def test_run_returns_benchmark_run(self, runner):
+        run = runner.run("gcc", "pom")
+        assert isinstance(run, BenchmarkRun)
+        assert run.benchmark == "gcc"
+        assert run.scheme == "pom"
+        assert run.result.references > 0
+
+    def test_memoisation(self, runner):
+        first = runner.run("gcc", "pom")
+        second = runner.run("gcc", "pom")
+        assert first is second
+
+    def test_different_params_not_conflated(self, runner):
+        base = runner.run("gcc", "pom")
+        other_params = dataclasses.replace(TINY, cache_tlb_entries=False)
+        other = runner.run("gcc", "pom", other_params)
+        assert base is not other
+
+    def test_improvement_is_finite(self, runner):
+        run = runner.run("gcc", "pom")
+        assert -100 < run.improvement_percent < 100
+
+    def test_run_suite_subset(self, runner):
+        runs = runner.run_suite("pom", benchmarks=["gcc", "canneal"])
+        assert [r.benchmark for r in runs] == ["gcc", "canneal"]
+
+    def test_unknown_benchmark_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.run("quake", "pom")
+
+    def test_unknown_scheme_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.run("gcc", "quantum")

@@ -1,0 +1,45 @@
+"""Unit tests for the Section 2.2 trade-off experiment."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentParams, SuiteRunner
+from repro.experiments.tradeoff import tradeoff_l4_vs_tlb
+
+TINY = ExperimentParams(num_cores=1, refs_per_core=400, scale=0.02, seed=3)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(TINY)
+
+
+class TestTradeoff:
+    def test_structure(self, runner):
+        report = tradeoff_l4_vs_tlb(runner, ["gcc", "canneal"])
+        assert report.headers == ("benchmark", "l4_data_saving",
+                                  "pom_translation_saving", "winner")
+        assert len(report.rows) == 2
+
+    def test_winner_labels(self, runner):
+        report = tradeoff_l4_vs_tlb(runner, ["gcc"])
+        assert report.rows[0][3] in ("pom_tlb", "l4_cache")
+
+    def test_l4_machine_actually_has_l4(self, runner):
+        import dataclasses
+        params = dataclasses.replace(TINY,
+                                     l4_data_cache_bytes=TINY.pom_size_bytes)
+        run = runner.run("gcc", "baseline", params)
+        assert "l4_cache" in run.result.stats.groups()
+
+
+class TestConsolidationStudy:
+    def test_structure_and_pom_wins(self):
+        from repro.experiments.consolidation import consolidation_study
+        from repro.experiments.runner import ExperimentParams
+        params = ExperimentParams(num_cores=2, refs_per_core=300,
+                                  scale=0.02, seed=4)
+        report = consolidation_study(params, benchmarks=["gcc", "canneal"])
+        assert [row[0] for row in report.rows] == ["baseline", "pom"]
+        baseline, pom = report.rows
+        assert pom[2] <= baseline[2]   # POM never walks more
+        assert pom[4] >= baseline[4]   # walk elimination

@@ -1,0 +1,83 @@
+"""Failure injection and scale-limit integration tests."""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import SystemConfig
+from repro.common.errors import TranslationFault
+from repro.core.system import Machine
+from repro.workloads.trace import CoreStream, MemoryReference
+
+
+class TestFaultInjection:
+    def test_walking_unmapped_address_faults(self):
+        """A walk for a VA the OS never mapped is a page fault."""
+        machine = Machine(SystemConfig(num_cores=1), scheme="baseline")
+        machine.touch(0, 1, 0x1000)  # create the VM/process
+        with pytest.raises(TranslationFault):
+            machine.walkers.walk(0, 0, 1, 0xDEAD000)
+
+    def test_unmap_then_walk_faults(self):
+        machine = Machine(SystemConfig(num_cores=1), scheme="baseline")
+        machine.touch(0, 1, 0x1000)
+        machine.host.vms[0].unmap(1, 0x1000)
+        with pytest.raises(TranslationFault):
+            machine.walkers.walk(0, 0, 1, 0x1000)
+
+    def test_shootdown_storm_stays_consistent(self):
+        """Unmap/remap churn must never leave stale translations behind."""
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom")
+        vm = None
+        for round_number in range(30):
+            va = 0x4000
+            page = machine.touch(0, 1, va)
+            machine.scheme.translate(0, 0, 1, va, page)
+            machine.host.vms[0].unmap(1, va)
+            machine.shootdown(0, 1, va)
+            fresh = machine.touch(0, 1, va)
+            assert fresh.host_frame != page.host_frame
+            result = machine.scheme.translate(0, 0, 1, va, fresh)
+            assert result.l2_miss  # stale entry never survives
+        assert machine.stats["mmu"]["shootdowns"] == 30
+
+    def test_pom_never_returns_stale_frame_after_remap(self):
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom")
+        va = 0x8000
+        page = machine.touch(0, 1, va)
+        machine.scheme.translate(0, 0, 1, va, page)
+        machine.host.vms[0].unmap(1, va)
+        machine.shootdown(0, 1, va)
+        fresh = machine.touch(0, 1, va)
+        machine.scheme.translate(0, 0, 1, va, fresh)
+        from repro.tlb.entry import TlbKey
+        key = TlbKey(0, 1, va >> addr.SMALL_PAGE_SHIFT, False)
+        entry = machine.scheme.pom.probe(va, key)
+        assert entry.ppn == fresh.host_frame >> addr.SMALL_PAGE_SHIFT
+
+
+class TestScaleLimits:
+    def test_32_core_machine_runs(self):
+        """Section 4.6 mentions 32-core experiments; the model scales."""
+        machine = Machine(SystemConfig(num_cores=32), scheme="pom", seed=2)
+        streams = []
+        for core in range(32):
+            refs = [MemoryReference((i + 1) * 10,
+                                    i * addr.SMALL_PAGE_SIZE, False)
+                    for i in range(40)]
+            streams.append(CoreStream(core=core, vm_id=0, asid=core + 1,
+                                      references=refs))
+        result = machine.run(streams)
+        assert result.references == 32 * 40
+        assert machine.stats["core31.l2_tlb"]["misses"] > 0
+
+    def test_many_vms_coexist(self):
+        machine = Machine(SystemConfig(num_cores=4), scheme="pom", seed=2)
+        for vm_id in range(1, 17):
+            machine.touch(vm_id, 1, 0x1000)
+        assert len(machine.host.vms) == 16
+        # POM-TLB keeps them apart: insert all, probe all.
+        for vm_id in range(1, 17):
+            page = machine.touch(vm_id, 1, 0x1000)
+            machine.scheme.translate(0, vm_id, 1, 0x1000, page)
+        occupancy = machine.scheme.pom.occupancy()
+        assert occupancy["small"] + occupancy["large"] == 16

@@ -1,0 +1,92 @@
+"""Cross-scheme integration: the paper's qualitative claims, simulated.
+
+These run a mid-size zipf-clustered workload once per scheme and check
+the *relationships* the paper's evaluation rests on — walk elimination,
+cheaper steady-state misses, functional correctness of every scheme's
+translations and shootdown coherence.
+"""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import SystemConfig
+from repro.common.rng import ZipfSampler, make_rng
+from repro.core.system import Machine
+from repro.workloads.trace import CoreStream, MemoryReference
+
+PAGES = 20000
+MEASURED = 8000
+
+
+def zipf_workload(seed=5, alpha=0.9):
+    """Warmup pass over every page, then clustered-zipf reuse."""
+    rng = make_rng(seed, "wl")
+    sampler = ZipfSampler(PAGES, alpha, rng)
+    refs = []
+    icount = 0
+    for page in range(PAGES):
+        icount += 10
+        refs.append(MemoryReference(icount, page * addr.SMALL_PAGE_SIZE, False))
+    for _ in range(MEASURED):
+        icount += 10
+        refs.append(MemoryReference(icount, sampler.sample() * addr.SMALL_PAGE_SIZE,
+                                    False))
+    return [CoreStream(core=0, vm_id=0, asid=1, references=refs)], PAGES
+
+
+@pytest.fixture(scope="module")
+def results():
+    streams, warmup = zipf_workload()
+    out = {}
+    for scheme in ("baseline", "pom", "shared_l2", "tsb"):
+        machine = Machine(SystemConfig(num_cores=1), scheme=scheme, seed=5)
+        out[scheme] = machine.run(streams, warmup_references=warmup)
+    return out
+
+
+class TestPaperClaims:
+    def test_all_schemes_see_identical_miss_pressure(self, results):
+        # baseline / pom / tsb share the private L2 TLB front end.
+        misses = {results[s].l2_tlb_misses for s in ("baseline", "pom", "tsb")}
+        assert len(misses) == 1
+
+    def test_pom_eliminates_nearly_all_walks(self, results):
+        assert results["baseline"].walk_elimination == 0.0
+        assert results["pom"].walk_elimination > 0.99
+
+    def test_pom_misses_are_cheaper_than_baseline_walks(self, results):
+        assert (results["pom"].avg_penalty_per_miss
+                < results["baseline"].avg_penalty_per_miss)
+
+    def test_tsb_also_avoids_walks_but_pays_traps(self, results):
+        tsb = results["tsb"]
+        assert tsb.walk_elimination > 0.9
+        # Every TSB hit still costs the trap, so its per-miss penalty
+        # exceeds the POM-TLB's.
+        assert tsb.avg_penalty_per_miss > results["pom"].avg_penalty_per_miss
+
+    def test_shared_l2_cannot_hold_the_working_set(self, results):
+        # 20000 hot pages >> 1536 shared entries: walks continue.
+        assert results["shared_l2"].page_walks > 0
+
+    def test_pom_cache_hit_ratios_meaningful(self, results):
+        pom = results["pom"]
+        assert pom.pom_hit_ratio() > 0.95
+        assert pom.tlb_cache_hit_ratio("l3") > 0.5
+
+
+class TestShootdownCoherence:
+    @pytest.mark.parametrize("scheme", ["baseline", "pom", "shared_l2", "tsb"])
+    def test_remap_after_shootdown_yields_new_translation(self, scheme):
+        machine = Machine(SystemConfig(num_cores=1), scheme=scheme, seed=3)
+        va = 0x7000
+        page = machine.touch(0, 1, va)
+        machine.scheme.translate(0, 0, 1, va, page)
+        # OS unmaps, shoots down, and remaps the page elsewhere.
+        old_frame = page.host_frame
+        machine.host.vms[0].unmap(1, va)
+        machine.scheme.shootdown(0, 1, va, large=page.large)
+        new_page = machine.touch(0, 1, va)
+        assert new_page.host_frame != old_frame
+        result = machine.scheme.translate(0, 0, 1, va, new_page)
+        assert result.l2_miss  # stale entries are gone everywhere

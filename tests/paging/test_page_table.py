@@ -1,0 +1,157 @@
+"""Unit tests for the radix page table."""
+
+import itertools
+
+import pytest
+
+from repro.common import addr
+from repro.common.errors import AddressError, TranslationFault
+from repro.paging.page_table import PTE_BYTES, RadixPageTable
+
+
+def bump_allocator(start=0x100000):
+    counter = itertools.count()
+    return lambda: start + next(counter) * addr.SMALL_PAGE_SIZE
+
+
+def make_table():
+    return RadixPageTable(bump_allocator(), name="t")
+
+
+class TestMapping:
+    def test_small_page_walk_has_four_steps(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        steps, leaf = pt.walk(0x1234)
+        assert [s.level for s in steps] == [4, 3, 2, 1]
+        assert leaf.frame == 0x200000 and not leaf.large
+
+    def test_large_page_walk_has_three_steps(self):
+        pt = make_table()
+        pt.map_page(0x0, 0x400000, large=True)
+        steps, leaf = pt.walk(0x123456)
+        assert [s.level for s in steps] == [4, 3, 2]
+        assert leaf.large
+
+    def test_translate(self):
+        pt = make_table()
+        pt.map_page(0x5000, 0x200000)
+        _, leaf = pt.walk(0x5123)
+        assert leaf.translate(0x5123) == 0x200123
+
+    def test_unmapped_raises_fault(self):
+        pt = make_table()
+        with pytest.raises(TranslationFault):
+            pt.walk(0x1000)
+
+    def test_misaligned_frame_rejected(self):
+        pt = make_table()
+        with pytest.raises(AddressError):
+            pt.map_page(0x1000, 0x200100)
+        with pytest.raises(AddressError):
+            pt.map_page(0x0, 0x1000, large=True)  # not 2MiB aligned
+
+    def test_small_under_large_conflict_rejected(self):
+        pt = make_table()
+        pt.map_page(0x0, 0x400000, large=True)
+        with pytest.raises(AddressError):
+            pt.map_page(0x1000, 0x200000)  # same 2MiB region
+
+    def test_large_over_small_conflict_rejected(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        with pytest.raises(AddressError):
+            pt.map_page(0x0, 0x400000, large=True)
+
+    def test_remap_replaces_leaf(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        pt.map_page(0x1000, 0x300000)
+        assert pt.lookup(0x1000).frame == 0x300000
+        assert pt.mapped_pages == (1, 0)
+
+
+class TestWalkAddresses:
+    def test_pte_addresses_use_table_base_plus_index(self):
+        pt = make_table()
+        va = (3 << 39) | (5 << 30) | (7 << 21) | (9 << 12)
+        pt.map_page(va, 0x200000)
+        steps, _ = pt.walk(va)
+        assert steps[0].pte_paddr == pt.root_base + PTE_BYTES * 3
+        for step, index in zip(steps[1:], (5, 7, 9)):
+            base = pt.table_base(va, step.level)
+            assert step.pte_paddr == base + PTE_BYTES * index
+
+    def test_sibling_pages_share_tables(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        tables_before = pt.table_count()
+        pt.map_page(0x2000, 0x201000)  # same PT
+        assert pt.table_count() == tables_before
+
+    def test_distant_pages_allocate_new_tables(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        before = pt.table_count()
+        pt.map_page(1 << 40, 0x201000)
+        assert pt.table_count() > before
+
+
+class TestWalkFrom:
+    def test_walk_from_cached_level(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        base = pt.table_base(0x1000, 1)
+        steps, leaf = pt.walk_from(0x1000, 1, base)
+        assert len(steps) == 1 and steps[0].level == 1
+        assert leaf.frame == 0x200000
+
+    def test_walk_from_detects_stale_base(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        with pytest.raises(AddressError):
+            pt.walk_from(0x1000, 1, 0xDEAD000)
+
+    def test_walk_from_unmapped_subtree_faults(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        with pytest.raises(TranslationFault):
+            pt.walk_from(1 << 40, 1, pt.root_base)
+
+
+class TestUnmap:
+    def test_unmap_small(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        assert pt.unmap_page(0x1000)
+        assert pt.lookup(0x1000) is None
+        assert pt.mapped_pages == (0, 0)
+
+    def test_unmap_large(self):
+        pt = make_table()
+        pt.map_page(0x0, 0x400000, large=True)
+        assert pt.unmap_page(0x0, large=True)
+        assert pt.mapped_pages == (0, 0)
+
+    def test_unmap_missing_returns_false(self):
+        pt = make_table()
+        assert not pt.unmap_page(0x1000)
+
+
+class TestLookup:
+    def test_lookup_small_and_large(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        pt.map_page(1 << 30, 0x400000, large=True)
+        assert not pt.lookup(0x1000).large
+        assert pt.lookup((1 << 30) + 12345).large
+
+    def test_lookup_unmapped_is_none(self):
+        pt = make_table()
+        assert pt.lookup(0x1000) is None
+
+    def test_mapped_pages_counts(self):
+        pt = make_table()
+        pt.map_page(0x1000, 0x200000)
+        pt.map_page(1 << 30, 0x400000, large=True)
+        assert pt.mapped_pages == (1, 1)

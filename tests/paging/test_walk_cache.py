@@ -1,0 +1,102 @@
+"""Unit tests for the paging-structure caches."""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import WalkCacheConfig
+from repro.common.stats import StatGroup
+from repro.paging.walk_cache import PagingStructureCache
+
+
+def make_psc(**overrides):
+    return PagingStructureCache(WalkCacheConfig(**overrides), StatGroup("psc"))
+
+
+class TestLookup:
+    def test_cold_lookup_starts_at_root(self):
+        psc = make_psc()
+        start, base, cycles = psc.lookup(0x1000)
+        assert start == 4 and base is None
+        assert cycles == 2
+        assert psc.stats["misses"] == 1
+
+    def test_pde_hit_starts_at_level_1(self):
+        psc = make_psc()
+        psc.fill(0x1000, 1, 0xAAAA000)
+        start, base, _ = psc.lookup(0x1FFF)  # same 2MiB prefix
+        assert (start, base) == (1, 0xAAAA000)
+        assert psc.stats["pde_hits"] == 1
+
+    def test_deeper_cache_wins(self):
+        psc = make_psc()
+        psc.fill(0x1000, 3, 0xCCCC000)
+        psc.fill(0x1000, 1, 0xAAAA000)
+        start, base, _ = psc.lookup(0x1000)
+        assert start == 1 and base == 0xAAAA000
+
+    def test_pdp_hit_starts_at_level_2(self):
+        psc = make_psc()
+        psc.fill(0x1000, 2, 0xBBBB000)
+        start, base, _ = psc.lookup(0x1000 + addr.LARGE_PAGE_SIZE)  # same 1GiB
+        assert (start, base) == (2, 0xBBBB000)
+
+    def test_prefix_mismatch_misses(self):
+        psc = make_psc()
+        psc.fill(0x1000, 1, 0xAAAA000)
+        start, base, _ = psc.lookup(0x1000 + addr.LARGE_PAGE_SIZE)
+        assert start == 4 and base is None
+
+
+class TestCapacityAndLru:
+    def test_pml4_capacity_is_two(self):
+        psc = make_psc()
+        for i in range(3):
+            psc.fill(i << 39, 3, 0x1000 * (i + 1))
+        assert psc.sizes()["pml4"] == 2
+        # Oldest (i=0) evicted.
+        start, base, _ = psc.lookup(0)
+        assert base is None
+
+    def test_lru_refresh_on_hit(self):
+        psc = make_psc()
+        psc.fill(0 << 39, 3, 0x1000)
+        psc.fill(1 << 39, 3, 0x2000)
+        psc.lookup(0)              # refresh entry 0
+        psc.fill(2 << 39, 3, 0x3000)  # evicts entry 1
+        assert psc.lookup(0)[1] == 0x1000
+        assert psc.lookup(1 << 39)[1] is None
+
+    def test_zero_capacity_never_fills(self):
+        psc = make_psc(pml4_entries=0)
+        psc.fill(0, 3, 0x1000)
+        assert psc.sizes()["pml4"] == 0
+
+
+class TestFillValidation:
+    def test_fill_rejects_root_level(self):
+        psc = make_psc()
+        with pytest.raises(ValueError):
+            psc.fill(0, 4, 0x1000)
+
+    def test_refill_same_prefix_updates(self):
+        psc = make_psc()
+        psc.fill(0x1000, 1, 0xAAAA000)
+        psc.fill(0x1000, 1, 0xBBBB000)
+        assert psc.lookup(0x1000)[1] == 0xBBBB000
+        assert psc.sizes()["pde"] == 1
+
+
+class TestInvalidate:
+    def test_invalidate_drops_all_levels(self):
+        psc = make_psc()
+        psc.fill(0x1000, 1, 0xA000)
+        psc.fill(0x1000, 2, 0xB000)
+        psc.fill(0x1000, 3, 0xC000)
+        psc.invalidate(0x1000)
+        assert psc.lookup(0x1000)[1] is None
+
+    def test_flush(self):
+        psc = make_psc()
+        psc.fill(0x1000, 1, 0xA000)
+        psc.flush()
+        assert psc.sizes() == {"pde": 0, "pdp": 0, "pml4": 0}

@@ -1,0 +1,97 @@
+"""Unit tests for the native (1-D) page walker."""
+
+import itertools
+
+from repro.common import addr
+from repro.common.config import WalkCacheConfig
+from repro.common.stats import StatGroup
+from repro.paging.page_table import RadixPageTable
+from repro.paging.walk_cache import PagingStructureCache
+from repro.paging.walker import NativeWalker
+
+
+class CountingMemory:
+    """PTE access stub: fixed cost, records every address."""
+
+    def __init__(self, cost=10):
+        self.cost = cost
+        self.addresses = []
+
+    def __call__(self, paddr):
+        self.addresses.append(paddr)
+        return self.cost
+
+
+def make_walker(cost=10):
+    counter = itertools.count()
+    pt = RadixPageTable(lambda: 0x100000 + next(counter) * 4096, name="t")
+    psc = PagingStructureCache(WalkCacheConfig(), StatGroup("psc"))
+    mem = CountingMemory(cost)
+    walker = NativeWalker(pt, psc, mem, StatGroup("walker"))
+    return walker, pt, psc, mem
+
+
+class TestColdWalk:
+    def test_cold_small_walk_is_four_refs(self):
+        walker, pt, _, mem = make_walker()
+        pt.map_page(0x1000, 0x200000)
+        outcome = walker.walk(0x1234)
+        assert outcome.memory_refs == 4
+        assert len(mem.addresses) == 4
+        assert outcome.translate(0x1234) == 0x200234
+
+    def test_cold_large_walk_is_three_refs(self):
+        walker, pt, _, _ = make_walker()
+        pt.map_page(0x0, 0x400000, large=True)
+        outcome = walker.walk(0x1234)
+        assert outcome.memory_refs == 3
+        assert outcome.leaf.large
+
+    def test_cycles_include_psc_probe_and_refs(self):
+        walker, pt, _, _ = make_walker(cost=10)
+        pt.map_page(0x1000, 0x200000)
+        outcome = walker.walk(0x1234)
+        assert outcome.cycles == 2 + 4 * 10  # PSC probe + 4 PTE accesses
+
+
+class TestPscAcceleration:
+    def test_warm_walk_is_one_ref(self):
+        walker, pt, _, _ = make_walker()
+        pt.map_page(0x1000, 0x200000)
+        walker.walk(0x1000)
+        outcome = walker.walk(0x1000)
+        assert outcome.memory_refs == 1  # PDE$ hit: only the PT access
+
+    def test_neighbouring_page_reuses_pde_entry(self):
+        walker, pt, _, _ = make_walker()
+        pt.map_page(0x1000, 0x200000)
+        pt.map_page(0x2000, 0x201000)
+        walker.walk(0x1000)
+        assert walker.walk(0x2000).memory_refs == 1
+
+    def test_large_page_warm_walk_is_one_ref(self):
+        walker, pt, _, _ = make_walker()
+        pt.map_page(0x0, 0x400000, large=True)
+        walker.walk(0x0)
+        outcome = walker.walk(0x1000)
+        assert outcome.memory_refs == 1  # PDP$ hit -> PD access only
+
+    def test_stale_psc_falls_back_to_full_walk(self):
+        walker, pt, _, _ = make_walker()
+        pt.map_page(0x1000, 0x200000)
+        walker.walk(0x1000)
+        # Remap the page so PT pages change beneath the PSC.
+        pt.unmap_page(0x1000)
+        pt.map_page(0x1000, 0x300000)
+        outcome = walker.walk(0x1000)
+        assert outcome.translate(0x1000) == 0x300000
+
+
+class TestStats:
+    def test_walk_counters(self):
+        walker, pt, _, _ = make_walker()
+        pt.map_page(0x1000, 0x200000)
+        walker.walk(0x1000)
+        walker.walk(0x1000)
+        assert walker.stats["walks"] == 2
+        assert walker.stats["walk_refs"] == 5  # 4 cold + 1 warm

@@ -1,0 +1,84 @@
+"""Property-based tests for the set-associative cache."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import DATA, TLB, SetAssociativeCache
+from repro.common import addr
+from repro.common.config import CacheConfig
+from repro.common.stats import StatGroup
+
+
+def make_cache(size=8 * addr.KiB, ways=4):
+    cfg = CacheConfig(name="c", size_bytes=size, ways=ways, latency_cycles=4)
+    return SetAssociativeCache(cfg, StatGroup("c"))
+
+
+addresses = st.integers(min_value=0, max_value=1 << 30)
+operations = st.lists(
+    st.tuples(st.sampled_from(["fill", "lookup", "invalidate"]),
+              addresses,
+              st.sampled_from([DATA, TLB])),
+    max_size=200)
+
+
+class TestCacheInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(operations)
+    def test_capacity_never_exceeded(self, ops):
+        cache = make_cache()
+        capacity = cache.config.num_sets * cache.config.ways
+        for op, address, kind in ops:
+            if op == "fill":
+                cache.fill(address, kind)
+            elif op == "lookup":
+                cache.lookup(address, kind)
+            else:
+                cache.invalidate(address)
+            assert len(cache) <= capacity
+
+    @settings(max_examples=50, deadline=None)
+    @given(operations, addresses)
+    def test_fill_then_contains(self, ops, probe):
+        cache = make_cache()
+        for op, address, kind in ops:
+            if op == "fill":
+                cache.fill(address, kind)
+                assert cache.contains(address)
+            elif op == "invalidate":
+                cache.invalidate(address)
+                assert not cache.contains(address)
+
+    @settings(max_examples=50, deadline=None)
+    @given(operations)
+    def test_occupancy_matches_len(self, ops):
+        cache = make_cache()
+        for op, address, kind in ops:
+            if op == "fill":
+                cache.fill(address, kind)
+            elif op == "invalidate":
+                cache.invalidate(address)
+        occupancy = cache.occupancy()
+        assert occupancy[DATA] + occupancy[TLB] == len(cache)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    def test_eviction_returns_previously_resident_line(self, fills):
+        cache = make_cache(size=2 * addr.KiB, ways=1)
+        resident = set()
+        for address in fills:
+            line = addr.cache_line_base(address)
+            evicted = cache.fill(address)
+            if evicted is not None:
+                assert evicted in resident
+                resident.discard(evicted)
+            resident.add(line)
+        for line in resident:
+            assert cache.contains(line)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(addresses, min_size=1, max_size=50))
+    def test_lookup_after_fill_always_hits(self, fills):
+        cache = make_cache()
+        for address in fills:
+            cache.fill(address)
+            assert cache.lookup(address)

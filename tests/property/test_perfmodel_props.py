@@ -1,0 +1,66 @@
+"""Property-based tests for the Eq. 2-5 performance model."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.perfmodel import BaselineAnchor, estimate, geometric_mean
+
+anchors = st.builds(BaselineAnchor,
+                    overhead_pct=st.floats(0.01, 50.0),
+                    cycles_per_l2_miss=st.floats(1.0, 2000.0))
+misses = st.integers(1, 10 ** 7)
+penalties = st.floats(0, 10 ** 10)
+
+
+class TestEstimateProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(anchors, misses, penalties)
+    def test_cycles_accounting_consistent(self, anchor, m, penalty):
+        est = estimate(anchor, m, penalty)
+        if est.baseline_penalty:
+            total = est.ideal_cycles + est.baseline_penalty
+            assert abs(total - est.baseline_cycles) <= 1e-9 * est.baseline_cycles
+        assert est.scheme_cycles >= est.ideal_cycles
+
+    @settings(max_examples=100, deadline=None)
+    @given(anchors, misses, penalties)
+    def test_speedup_sign_matches_penalty_comparison(self, anchor, m, penalty):
+        est = estimate(anchor, m, penalty)
+        if penalty < est.baseline_penalty:
+            assert est.speedup > 1
+        elif penalty > est.baseline_penalty:
+            assert est.speedup < 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(anchors, misses, penalties, penalties)
+    def test_monotone_in_scheme_penalty(self, anchor, m, p1, p2):
+        assume(p1 < p2)
+        better = estimate(anchor, m, p1)
+        worse = estimate(anchor, m, p2)
+        assert better.improvement_percent >= worse.improvement_percent
+
+    @settings(max_examples=100, deadline=None)
+    @given(anchors, misses)
+    def test_zero_penalty_recovers_exactly_the_overhead(self, anchor, m):
+        est = estimate(anchor, m, 0)
+        frac = anchor.overhead_pct / 100.0
+        expected = (1.0 / (1.0 - frac) - 1.0) * 100.0
+        assert abs(est.improvement_percent - expected) < 1e-6
+
+    @settings(max_examples=100, deadline=None)
+    @given(anchors, misses, penalties)
+    def test_improvement_bounded_below(self, anchor, m, penalty):
+        est = estimate(anchor, m, penalty)
+        assert est.improvement_percent > -100.0
+
+
+class TestGeometricMeanProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.floats(0.1, 10.0), st.integers(1, 10))
+    def test_constant_list(self, value, n):
+        assert abs(geometric_mean([value] * n) - value) < 1e-9

@@ -1,0 +1,87 @@
+"""Property-based tests for the POM-TLB structure and addressing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common import addr
+from repro.common.config import PomTlbConfig, SystemConfig
+from repro.common.stats import StatRegistry
+from repro.core.pom_tlb import PomTlb
+from repro.tlb.entry import TlbEntry, TlbKey
+
+
+def make_pom():
+    cfg = SystemConfig(pom_tlb=PomTlbConfig(size_bytes=1 * addr.MiB))
+    return PomTlb(cfg, StatRegistry())
+
+
+vaddrs = st.integers(min_value=0, max_value=(1 << 48) - 1)
+vm_ids = st.integers(0, 7)
+refs = st.lists(st.tuples(vaddrs, vm_ids, st.integers(0, 3), st.booleans()),
+                max_size=120)
+
+
+class TestAddressingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(vaddrs, vm_ids, st.booleans())
+    def test_set_address_inside_partition(self, va, vm, large):
+        pom = make_pom()
+        address = pom.set_address(va, vm, large)
+        cfg = pom.config
+        assert cfg.contains(address)
+        assert pom.addressing.partition_of(address) == large
+        assert address % addr.CACHE_LINE_SIZE == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(vaddrs, vm_ids, st.booleans())
+    def test_same_page_same_set(self, va, vm, large):
+        pom = make_pom()
+        base = addr.page_base(va, large)
+        assert pom.set_address(va, vm, large) == \
+            pom.set_address(base, vm, large)
+
+
+class TestContentProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(refs)
+    def test_insert_then_probe_hits(self, items):
+        pom = make_pom()
+        for va, vm, asid, large in items:
+            key = TlbKey(vm, asid, va >> addr.page_shift(large), large)
+            pom.insert(va, key, TlbEntry(ppn=asid))
+            found = pom.probe(va, key)
+            assert found is not None and found.ppn == asid
+
+    @settings(max_examples=40, deadline=None)
+    @given(refs)
+    def test_set_occupancy_bounded_by_ways(self, items):
+        pom = make_pom()
+        for va, vm, asid, large in items:
+            key = TlbKey(vm, asid, va >> addr.page_shift(large), large)
+            pom.insert(va, key, TlbEntry(1))
+        for sets in pom._sets.values():
+            for entries in sets.values():
+                assert len(entries) <= pom.config.ways
+
+    @settings(max_examples=40, deadline=None)
+    @given(refs)
+    def test_invalidate_removes(self, items):
+        pom = make_pom()
+        for va, vm, asid, large in items:
+            key = TlbKey(vm, asid, va >> addr.page_shift(large), large)
+            pom.insert(va, key, TlbEntry(1))
+        for va, vm, asid, large in items:
+            key = TlbKey(vm, asid, va >> addr.page_shift(large), large)
+            pom.invalidate(va, key)
+            assert not pom.contains(va, key)
+
+    @settings(max_examples=30, deadline=None)
+    @given(refs, st.integers(0, 7))
+    def test_vm_invalidation_complete(self, items, vm):
+        pom = make_pom()
+        for va, v, asid, large in items:
+            key = TlbKey(v, asid, va >> addr.page_shift(large), large)
+            pom.insert(va, key, TlbEntry(1))
+        pom.invalidate_vm(vm)
+        for sets in pom._sets.values():
+            for entries in sets.values():
+                assert all(k.vm_id != vm for k, _e in entries)

@@ -1,0 +1,57 @@
+"""Property-based tests for the size/bypass predictor."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import PredictorConfig
+from repro.common.stats import StatGroup
+from repro.core.predictor import SizeBypassPredictor
+
+vaddrs = st.integers(0, (1 << 48) - 1)
+events = st.lists(st.tuples(vaddrs, st.booleans()), max_size=200)
+counter_bits = st.integers(1, 4)
+
+
+class TestPredictorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(events, counter_bits)
+    def test_accuracy_accounting_conserved(self, history, bits):
+        p = SizeBypassPredictor(PredictorConfig(size_counter_bits=bits),
+                                StatGroup("p"))
+        for vaddr, large in history:
+            p.record_size(vaddr, large)
+        total = p.stats["size_correct"] + p.stats["size_wrong"]
+        assert total == len(history)
+
+    @settings(max_examples=40, deadline=None)
+    @given(vaddrs, counter_bits)
+    def test_repetition_converges_to_correct(self, vaddr, bits):
+        p = SizeBypassPredictor(PredictorConfig(size_counter_bits=bits),
+                                StatGroup("p"))
+        for _ in range(1 << bits):
+            p.record_size(vaddr, actual_large=True)
+        assert p.predict_size(vaddr) is True
+        for _ in range(1 << bits):
+            p.record_size(vaddr, actual_large=False)
+        assert p.predict_size(vaddr) is False
+
+    @settings(max_examples=40, deadline=None)
+    @given(events)
+    def test_stable_stream_reaches_high_accuracy(self, history):
+        """A single-size stream mispredicts at most once per entry."""
+        p = SizeBypassPredictor(PredictorConfig(), StatGroup("p"))
+        for vaddr, _large in history:
+            p.record_size(vaddr, actual_large=True)
+        wrong = p.stats["size_wrong"]
+        assert wrong <= min(len(history), p.config.entries)
+
+    @settings(max_examples=40, deadline=None)
+    @given(events)
+    def test_bypass_bit_tracks_last_observation(self, history):
+        p = SizeBypassPredictor(PredictorConfig(), StatGroup("p"))
+        last: dict = {}
+        for vaddr, cached in history:
+            p.record_bypass(vaddr, line_was_cached=cached)
+            last[p._index(vaddr)] = cached
+        for index, cached in last.items():
+            probe_vaddr = index << 12
+            assert p.predict_bypass(probe_vaddr) == (not cached)

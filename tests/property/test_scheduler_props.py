@@ -1,0 +1,61 @@
+"""Property-based tests for the command-level DRAM scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import stacked_dram_timing
+from repro.dram.scheduler import CommandScheduler, Request
+
+request_specs = st.lists(
+    st.tuples(st.integers(0, 1 << 24),   # paddr
+              st.integers(0, 5000),      # arrival
+              st.booleans()),            # is_write
+    min_size=1, max_size=60)
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(request_specs)
+    def test_every_request_completes_after_arrival(self, specs):
+        sched = CommandScheduler(stacked_dram_timing())
+        requests = [Request(paddr=p, arrival=a, is_write=w)
+                    for p, a, w in specs]
+        sched.run(requests)
+        timing = stacked_dram_timing()
+        for request in requests:
+            assert request.completion > request.arrival
+            # Nothing beats a bare row-hit read.
+            assert request.latency >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(request_specs)
+    def test_bus_never_double_booked(self, specs):
+        sched = CommandScheduler(stacked_dram_timing())
+        requests = [Request(paddr=p, arrival=a, is_write=w)
+                    for p, a, w in specs]
+        sched.run(requests)
+        burst = sched._burst
+        completions = sorted(r.completion for r in requests)
+        for earlier, later in zip(completions, completions[1:]):
+            assert later - earlier >= burst
+
+    @settings(max_examples=40, deadline=None)
+    @given(request_specs)
+    def test_stat_conservation(self, specs):
+        sched = CommandScheduler(stacked_dram_timing())
+        requests = [Request(paddr=p, arrival=a, is_write=w)
+                    for p, a, w in specs]
+        sched.run(requests)
+        assert sched.stats["serviced"] == len(requests)
+        assert (sched.stats["reads"] + sched.stats["writes"]
+                == len(requests))
+
+    @settings(max_examples=25, deadline=None)
+    @given(request_specs)
+    def test_deterministic(self, specs):
+        def run_once():
+            sched = CommandScheduler(stacked_dram_timing())
+            requests = [Request(paddr=p, arrival=a, is_write=w)
+                        for p, a, w in specs]
+            sched.run(requests)
+            return [r.completion for r in requests]
+        assert run_once() == run_once()

@@ -1,0 +1,61 @@
+"""Property-based tests for the workload suite builder."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.suite import BENCHMARKS, get_profile
+from repro.workloads.trace import validate_stream
+
+bench_names = st.sampled_from(BENCHMARKS)
+scales = st.floats(0.01, 0.1)
+seeds = st.integers(0, 1000)
+
+
+class TestBuildProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(bench_names, seeds, scales)
+    def test_streams_are_valid_traces(self, name, seed, scale):
+        workload = get_profile(name).build(num_cores=2, refs_per_core=150,
+                                           seed=seed, scale=scale)
+        assert len(workload.streams) == 2
+        for stream in workload.streams:
+            validate_stream(stream)
+            assert len(stream) >= 150
+
+    @settings(max_examples=15, deadline=None)
+    @given(bench_names, seeds)
+    def test_build_is_deterministic(self, name, seed):
+        profile = get_profile(name)
+        a = profile.build(1, 100, seed=seed, scale=0.02)
+        b = profile.build(1, 100, seed=seed, scale=0.02)
+        assert list(a.streams[0]) == list(b.streams[0])
+        assert a.warmup_by_core == b.warmup_by_core
+
+    @settings(max_examples=15, deadline=None)
+    @given(bench_names, seeds, scales)
+    def test_warmup_counts_consistent(self, name, seed, scale):
+        profile = get_profile(name)
+        workload = profile.build(2, 100, seed=seed, scale=scale)
+        assert (sum(workload.warmup_by_core.values())
+                == workload.warmup_references)
+        footprint = profile.footprint_pages(scale)
+        for count in workload.warmup_by_core.values():
+            assert count == footprint
+
+    @settings(max_examples=15, deadline=None)
+    @given(bench_names, seeds)
+    def test_addresses_stay_in_region_space(self, name, seed):
+        workload = get_profile(name).build(1, 200, seed=seed, scale=0.02)
+        regions = len(get_profile(name).regions)
+        for ref in workload.streams[0]:
+            region = ref.vaddr >> 32
+            assert 1 <= region <= regions + 1  # +1: ASLR offset spill
+
+    @settings(max_examples=10, deadline=None)
+    @given(bench_names)
+    def test_multithreaded_streams_share_layout(self, name):
+        profile = get_profile(name)
+        workload = profile.build(3, 100, seed=1, scale=0.02)
+        if profile.multithreaded:
+            assert {s.asid for s in workload.streams} == {1}
+        else:
+            assert {s.asid for s in workload.streams} == {1, 2, 3}

@@ -1,0 +1,76 @@
+"""Property-based tests for SRAM TLB invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import TlbConfig
+from repro.common.stats import StatGroup
+from repro.tlb.entry import TlbEntry, TlbKey
+from repro.tlb.tlb import SramTlb
+
+
+def make_tlb(entries=32, ways=4):
+    cfg = TlbConfig(name="t", entries=entries, ways=ways, latency_cycles=1)
+    return SramTlb(cfg, StatGroup("t"))
+
+
+keys = st.builds(TlbKey,
+                 vm_id=st.integers(0, 3),
+                 asid=st.integers(0, 7),
+                 vpn=st.integers(0, 1 << 24),
+                 large=st.booleans())
+
+
+class TestTlbInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(keys, max_size=150))
+    def test_capacity_bound(self, inserts):
+        tlb = make_tlb()
+        for key in inserts:
+            tlb.insert(key, TlbEntry(ppn=key.vpn))
+            assert len(tlb) <= tlb.config.entries
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(keys, max_size=100))
+    def test_insert_then_immediate_lookup_hits(self, inserts):
+        tlb = make_tlb()
+        for key in inserts:
+            tlb.insert(key, TlbEntry(ppn=key.vpn & 0xFFFF))
+            entry = tlb.lookup(key)
+            assert entry is not None
+            assert entry.ppn == key.vpn & 0xFFFF
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(keys, max_size=100))
+    def test_eviction_conservation(self, inserts):
+        """Every insert either grows the TLB or reports an eviction."""
+        tlb = make_tlb()
+        for key in inserts:
+            size_before = len(tlb)
+            already_there = tlb.contains(key)
+            evicted = tlb.insert(key, TlbEntry(1))
+            if already_there:
+                assert len(tlb) == size_before
+            elif evicted is None:
+                assert len(tlb) == size_before + 1
+            else:
+                assert len(tlb) == size_before
+                assert not tlb.contains(evicted)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(keys, max_size=60), st.integers(0, 3))
+    def test_vm_invalidation_is_complete(self, inserts, vm):
+        tlb = make_tlb()
+        for key in inserts:
+            tlb.insert(key, TlbEntry(1))
+        tlb.invalidate_vm(vm)
+        assert all(k.vm_id != vm for k in tlb.keys())
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(keys, max_size=60))
+    def test_flush_empties(self, inserts):
+        tlb = make_tlb()
+        for key in inserts:
+            tlb.insert(key, TlbEntry(1))
+        tlb.flush()
+        assert len(tlb) == 0
+        assert all(tlb.lookup(k) is None for k in inserts)

@@ -1,0 +1,33 @@
+"""The documented top-level API surface stays importable and coherent."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_surface(self):
+        # The README quickstart's imports, end to end.
+        from repro import BENCHMARKS, Machine, SystemConfig, estimate, get_profile
+
+        assert len(BENCHMARKS) == 15
+        profile = get_profile("mcf")
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom",
+                          thp_large_fraction=profile.thp_large_fraction)
+        workload = profile.build(num_cores=1, refs_per_core=100,
+                                 seed=1, scale=0.02)
+        result = machine.run(workload.streams,
+                             warmup_references=workload.warmup_by_core)
+        perf = estimate(profile.anchor(), result.l2_tlb_misses,
+                        result.penalty_cycles)
+        assert perf.speedup > 0
+
+    def test_scheme_registry_names(self):
+        from repro.core import SCHEMES
+        assert set(SCHEMES) == {"baseline", "pom", "pom_skewed",
+                                "shared_l2", "tsb"}

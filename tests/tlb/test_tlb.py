@@ -1,0 +1,137 @@
+"""Unit tests for the SRAM TLB."""
+
+import pytest
+
+from repro.common.config import TlbConfig
+from repro.common.stats import StatGroup
+from repro.tlb.entry import TlbEntry, TlbKey
+from repro.tlb.tlb import SramTlb
+
+
+def make_tlb(entries=64, ways=4):
+    cfg = TlbConfig(name="t", entries=entries, ways=ways, latency_cycles=1)
+    return SramTlb(cfg, StatGroup("t"))
+
+
+def key(vpn, vm=0, asid=0, large=False):
+    return TlbKey(vm_id=vm, asid=asid, vpn=vpn, large=large)
+
+
+class TestLookupInsert:
+    def test_cold_miss(self):
+        t = make_tlb()
+        assert t.lookup(key(1)) is None
+        assert t.stats["misses"] == 1
+
+    def test_insert_then_hit(self):
+        t = make_tlb()
+        t.insert(key(1), TlbEntry(ppn=7))
+        entry = t.lookup(key(1))
+        assert entry is not None and entry.ppn == 7
+        assert t.stats["hits"] == 1
+
+    def test_size_is_part_of_identity(self):
+        t = make_tlb()
+        t.insert(key(1, large=False), TlbEntry(ppn=7))
+        assert t.lookup(key(1, large=True)) is None
+
+    def test_vm_and_asid_are_part_of_identity(self):
+        t = make_tlb()
+        t.insert(key(1, vm=0, asid=0), TlbEntry(ppn=7))
+        assert t.lookup(key(1, vm=1, asid=0)) is None
+        assert t.lookup(key(1, vm=0, asid=1)) is None
+
+    def test_reinsert_updates_entry(self):
+        t = make_tlb()
+        t.insert(key(1), TlbEntry(ppn=7))
+        t.insert(key(1), TlbEntry(ppn=9))
+        assert t.lookup(key(1)).ppn == 9
+        assert len(t) == 1
+
+
+class TestEviction:
+    def test_set_conflict_evicts_lru(self):
+        t = make_tlb(entries=8, ways=2)  # 4 sets
+        sets = t.config.num_sets
+        keys = [key(vpn) for vpn in (0, sets, 2 * sets)]  # same set
+        t.insert(keys[0], TlbEntry(0))
+        t.insert(keys[1], TlbEntry(1))
+        t.lookup(keys[0])  # refresh
+        evicted = t.insert(keys[2], TlbEntry(2))
+        assert evicted == keys[1]
+        assert t.contains(keys[0]) and not t.contains(keys[1])
+
+    def test_capacity_never_exceeded(self):
+        t = make_tlb(entries=16, ways=4)
+        for vpn in range(100):
+            t.insert(key(vpn), TlbEntry(vpn))
+        assert len(t) <= 16
+
+    def test_eviction_counter(self):
+        t = make_tlb(entries=4, ways=1)
+        for vpn in range(8):
+            t.insert(key(vpn * 4), TlbEntry(vpn))  # force same-set inserts
+        assert t.stats["evictions"] > 0
+
+
+class TestInvalidation:
+    def test_invalidate_page(self):
+        t = make_tlb()
+        t.insert(key(1), TlbEntry(7))
+        assert t.invalidate_page(key(1))
+        assert t.lookup(key(1)) is None
+
+    def test_invalidate_missing_page(self):
+        t = make_tlb()
+        assert not t.invalidate_page(key(1))
+
+    def test_invalidate_asid_spares_others(self):
+        t = make_tlb()
+        t.insert(key(1, asid=1), TlbEntry(1))
+        t.insert(key(2, asid=2), TlbEntry(2))
+        assert t.invalidate_asid(vm_id=0, asid=1) == 1
+        assert t.contains(key(2, asid=2))
+
+    def test_invalidate_vm(self):
+        t = make_tlb()
+        t.insert(key(1, vm=1, asid=1), TlbEntry(1))
+        t.insert(key(2, vm=1, asid=2), TlbEntry(2))
+        t.insert(key(3, vm=2), TlbEntry(3))
+        assert t.invalidate_vm(1) == 2
+        assert len(t) == 1
+
+    def test_flush(self):
+        t = make_tlb()
+        for vpn in range(10):
+            t.insert(key(vpn), TlbEntry(vpn))
+        assert t.flush() == 10
+        assert len(t) == 0
+
+
+class TestIntrospection:
+    def test_keys_lists_residents(self):
+        t = make_tlb()
+        t.insert(key(1), TlbEntry(1))
+        t.insert(key(2), TlbEntry(2))
+        assert set(t.keys()) == {key(1), key(2)}
+
+    def test_reach(self):
+        t = make_tlb(entries=64)
+        assert t.reach_bytes == 64 * 4096
+
+    def test_hit_rate(self):
+        t = make_tlb()
+        t.insert(key(1), TlbEntry(1))
+        t.lookup(key(1))
+        t.lookup(key(2))
+        assert t.hit_rate() == pytest.approx(0.5)
+
+
+class TestTlbEntry:
+    def test_translate_small(self):
+        entry = TlbEntry(ppn=5)
+        assert entry.translate(0x123, page_shift=12) == (5 << 12) | 0x123
+
+    def test_translate_large(self):
+        entry = TlbEntry(ppn=3)
+        assert entry.translate(0x1FFFFF, page_shift=21) == (3 << 21) | 0x1FFFFF

@@ -1,0 +1,71 @@
+"""Unit tests for physical frame allocation."""
+
+import pytest
+
+from repro.common import addr
+from repro.common.errors import AddressError
+from repro.vmm.memory_manager import PhysicalMemory
+
+
+class TestAllocation:
+    def test_small_frames_are_sequential_and_aligned(self):
+        mem = PhysicalMemory(base=0, size_bytes=addr.GiB)
+        frames = [mem.alloc_frame() for _ in range(4)]
+        assert frames == [0, 4096, 8192, 12288]
+
+    def test_large_frames_are_2mib_aligned(self):
+        mem = PhysicalMemory(base=0, size_bytes=addr.GiB)
+        frame = mem.alloc_frame(large=True)
+        assert frame % addr.LARGE_PAGE_SIZE == 0
+
+    def test_small_and_large_regions_disjoint(self):
+        mem = PhysicalMemory(base=0, size_bytes=addr.GiB)
+        smalls = {mem.alloc_frame() for _ in range(100)}
+        larges = set()
+        for _ in range(10):
+            base = mem.alloc_frame(large=True)
+            larges.update(range(base, base + addr.LARGE_PAGE_SIZE, 4096))
+        assert smalls.isdisjoint(larges)
+
+    def test_alloc_small_wrapper(self):
+        mem = PhysicalMemory(base=0, size_bytes=addr.GiB)
+        assert mem.alloc_small() == 0
+
+    def test_counters(self):
+        mem = PhysicalMemory(base=0, size_bytes=addr.GiB)
+        mem.alloc_frame()
+        mem.alloc_frame(large=True)
+        assert mem.small_allocated == 1
+        assert mem.large_allocated == 1
+        assert mem.bytes_allocated == addr.SMALL_PAGE_SIZE + addr.LARGE_PAGE_SIZE
+
+
+class TestExhaustion:
+    def test_small_region_exhausts(self):
+        mem = PhysicalMemory(base=0, size_bytes=4 * addr.MiB,
+                             large_region_fraction=0.5)
+        for _ in range(512):  # 2MiB of small frames
+            mem.alloc_frame()
+        with pytest.raises(AddressError):
+            mem.alloc_frame()
+
+    def test_large_region_exhausts(self):
+        mem = PhysicalMemory(base=0, size_bytes=4 * addr.MiB,
+                             large_region_fraction=0.5)
+        mem.alloc_frame(large=True)
+        with pytest.raises(AddressError):
+            mem.alloc_frame(large=True)
+
+
+class TestValidation:
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(AddressError):
+            PhysicalMemory(base=4096, size_bytes=addr.GiB)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(AddressError):
+            PhysicalMemory(base=0, size_bytes=addr.GiB, large_region_fraction=0.0)
+
+    def test_nonzero_base(self):
+        mem = PhysicalMemory(base=addr.GiB, size_bytes=addr.GiB)
+        assert mem.alloc_frame() == addr.GiB

@@ -1,0 +1,62 @@
+"""Unit tests for the graph-workload generators."""
+
+from itertools import islice
+
+from repro.common.rng import make_rng
+from repro.workloads.graphgen import bfs_bursts, graph_traversal
+
+
+def take(gen, n):
+    return list(islice(gen, n))
+
+
+class TestGraphTraversal:
+    def test_pages_in_range(self):
+        gen = graph_traversal(1000, make_rng(0), {})
+        assert all(0 <= p < 1000 for p in take(gen, 2000))
+
+    def test_vertex_region_is_swept_sequentially(self):
+        gen = graph_traversal(1000, make_rng(1), {"vertex_fraction": 0.25})
+        vertex_pages = [p for p in take(gen, 3000) if p < 250]
+        # The vertex visits, in order, increment (mod region size).
+        increments = sum(1 for a, b in zip(vertex_pages, vertex_pages[1:])
+                         if b == (a + 1) % 250)
+        assert increments > len(vertex_pages) * 0.9
+
+    def test_edge_targets_touch_edge_region(self):
+        gen = graph_traversal(1000, make_rng(2), {"vertex_fraction": 0.25})
+        edge_pages = [p for p in take(gen, 3000) if p >= 250]
+        assert len(edge_pages) > 1000  # degree >= 1 per vertex
+
+    def test_shuffle_scatters_targets(self):
+        plain = graph_traversal(4000, make_rng(3), {"shuffle": False})
+        mixed = graph_traversal(4000, make_rng(3), {"shuffle": True})
+        hot_plain = [p for p in take(plain, 4000) if p >= 1000]
+        hot_mixed = [p for p in take(mixed, 4000) if p >= 1000]
+        # Unshuffled: popular targets cluster at low edge pages.
+        assert sum(hot_plain) < sum(hot_mixed)
+
+    def test_determinism(self):
+        a = take(graph_traversal(500, make_rng(4), {}), 200)
+        b = take(graph_traversal(500, make_rng(4), {}), 200)
+        assert a == b
+
+
+class TestBfsBursts:
+    def test_pages_in_range(self):
+        gen = bfs_bursts(1000, make_rng(5), {})
+        assert all(0 <= p < 1000 for p in take(gen, 2000))
+
+    def test_windows_are_revisited(self):
+        gen = bfs_bursts(10000, make_rng(6),
+                         {"window_pages": 16, "revisits": 3})
+        pages = take(gen, 200)
+        # Strong short-range reuse: many pages appear several times.
+        repeats = len(pages) - len(set(pages))
+        assert repeats > 40
+
+    def test_bursts_jump_between_windows(self):
+        gen = bfs_bursts(100000, make_rng(7),
+                         {"window_pages": 8, "revisits": 1})
+        pages = take(gen, 400)
+        assert max(pages) - min(pages) > 1000  # windows land far apart

@@ -1,0 +1,114 @@
+"""Unit tests for the benchmark suite."""
+
+import pytest
+
+from repro.workloads.suite import BENCHMARKS, SUITE, get_profile
+from repro.workloads.trace import validate_stream
+
+
+class TestSuiteContents:
+    def test_fifteen_benchmarks(self):
+        assert len(BENCHMARKS) == 15
+
+    def test_expected_names_present(self):
+        for name in ("astar", "gups", "mcf", "streamcluster", "ccomponent",
+                     "graph500", "pagerank", "GemsFDTD"):
+            assert name in SUITE
+
+    def test_get_profile_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_profile("doom")
+
+    def test_table2_values_match_paper(self):
+        mcf = get_profile("mcf")
+        assert mcf.overhead_virtual_pct == 19.01
+        assert mcf.cycles_per_miss_virtual == 169
+        assert mcf.large_page_fraction_pct == 60.7
+        ccomp = get_profile("ccomponent")
+        assert ccomp.cycles_per_miss_virtual == 1158
+        stream = get_profile("streamcluster")
+        assert stream.overhead_virtual_pct == 2.11
+
+    def test_region_weights_positive(self):
+        for profile in SUITE.values():
+            assert all(r.weight > 0 for r in profile.regions)
+            assert all(r.pages > 0 for r in profile.regions)
+
+    def test_multithreaded_flags(self):
+        # PARSEC + graph workloads share an address space; SPEC is rate.
+        assert get_profile("canneal").multithreaded
+        assert get_profile("pagerank").multithreaded
+        assert not get_profile("mcf").multithreaded
+        assert not get_profile("gups").multithreaded
+
+    def test_anchors(self):
+        p = get_profile("astar")
+        assert p.anchor(virtualized=True).cycles_per_l2_miss == 114
+        assert p.anchor(virtualized=False).cycles_per_l2_miss == 98
+
+    def test_thp_fraction(self):
+        assert get_profile("streamcluster").thp_large_fraction == pytest.approx(0.872)
+
+
+class TestBuild:
+    def test_stream_count_and_sizes(self):
+        wl = get_profile("gcc").build(num_cores=2, refs_per_core=500,
+                                      seed=3, scale=0.05)
+        assert len(wl.streams) == 2
+        for stream in wl.streams:
+            assert len(stream) >= 500
+            validate_stream(stream)
+
+    def test_warmup_covers_footprint(self):
+        profile = get_profile("gcc")
+        wl = profile.build(num_cores=2, refs_per_core=100, seed=3, scale=0.05)
+        assert wl.warmup_references == 2 * profile.footprint_pages(0.05)
+
+    def test_multithreaded_single_prologue(self):
+        profile = get_profile("canneal")
+        wl = profile.build(num_cores=4, refs_per_core=100, seed=3, scale=0.05)
+        assert wl.warmup_references == profile.footprint_pages(0.05)
+        # Threads share the address space.
+        assert {s.asid for s in wl.streams} == {1}
+
+    def test_specrate_private_address_spaces(self):
+        wl = get_profile("gups").build(num_cores=3, refs_per_core=100,
+                                       seed=3, scale=0.05)
+        assert {s.asid for s in wl.streams} == {1, 2, 3}
+
+    def test_determinism(self):
+        a = get_profile("mcf").build(2, 300, seed=5, scale=0.05)
+        b = get_profile("mcf").build(2, 300, seed=5, scale=0.05)
+        for sa, sb in zip(a.streams, b.streams):
+            assert list(sa) == list(sb)
+
+    def test_seed_changes_traces(self):
+        a = get_profile("mcf").build(1, 300, seed=5, scale=0.05)
+        b = get_profile("mcf").build(1, 300, seed=6, scale=0.05)
+        assert list(a.streams[0]) != list(b.streams[0])
+
+    def test_aslr_separates_specrate_layouts(self):
+        wl = get_profile("gups").build(num_cores=2, refs_per_core=50,
+                                       seed=3, scale=0.05)
+        first_pages = {s.core: s.references[0].vaddr >> 12 for s in wl.streams}
+        assert first_pages[0] != first_pages[1]
+
+    def test_addresses_within_region_bounds(self):
+        profile = get_profile("soplex")
+        wl = profile.build(num_cores=1, refs_per_core=1000, seed=1, scale=0.05)
+        for ref in wl.streams[0]:
+            assert ref.vaddr >= 1 << 32  # regions start at 4 GiB
+
+    def test_references_property(self):
+        wl = get_profile("gcc").build(num_cores=2, refs_per_core=200,
+                                      seed=1, scale=0.05)
+        assert wl.references == sum(len(s) for s in wl.streams)
+
+
+class TestWriteFraction:
+    def test_writes_present_in_measured_phase(self):
+        profile = get_profile("gups")  # 50% writes
+        wl = profile.build(num_cores=1, refs_per_core=2000, seed=2, scale=0.05)
+        measured = wl.streams[0].references[wl.warmup_references:]
+        writes = sum(1 for r in measured if r.write)
+        assert 0.35 < writes / len(measured) < 0.65

@@ -1,0 +1,118 @@
+"""Unit tests for the trace format and interleaving."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.workloads.trace import (
+    CoreStream,
+    MemoryReference,
+    interleave,
+    load_stream,
+    save_stream,
+    validate_stream,
+)
+
+
+def make_stream(core=0, n=5, start=0):
+    refs = [MemoryReference(start + i * 10, 0x1000 * i, i % 2 == 0)
+            for i in range(n)]
+    return CoreStream(core=core, vm_id=1, asid=2, references=refs)
+
+
+class TestCoreStream:
+    def test_len_and_iter(self):
+        s = make_stream(n=5)
+        assert len(s) == 5
+        assert list(s) == list(s.references)
+
+    def test_instructions(self):
+        s = make_stream(n=3)
+        assert s.instructions == s.references[-1].icount
+
+    def test_instructions_empty(self):
+        assert CoreStream(core=0, vm_id=0, asid=0).instructions == 0
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        s = make_stream(n=10)
+        path = str(tmp_path / "trace.txt")
+        save_stream(s, path)
+        loaded = load_stream(path)
+        assert loaded.core == s.core
+        assert loaded.vm_id == s.vm_id
+        assert loaded.asid == s.asid
+        assert loaded.references == list(s.references)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        s = make_stream(n=10)
+        path = str(tmp_path / "trace.txt.gz")
+        save_stream(s, path)
+        assert load_stream(path).references == list(s.references)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("10 1000 R\n")
+        with pytest.raises(TraceFormatError):
+            load_stream(str(path))
+
+    def test_bad_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#pomtlb-trace core=0 vm=0 asid=1\n10 zz R\n")
+        with pytest.raises(TraceFormatError):
+            load_stream(str(path))
+
+    def test_bad_rw_flag_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#pomtlb-trace core=0 vm=0 asid=1\n10 1000 X\n")
+        with pytest.raises(TraceFormatError):
+            load_stream(str(path))
+
+    def test_header_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#pomtlb-trace core=0 vm=0\n")
+        with pytest.raises(TraceFormatError):
+            load_stream(str(path))
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("#pomtlb-trace core=0 vm=0 asid=1\n10 1000 R\n\n")
+        assert len(load_stream(str(path)).references) == 1
+
+
+class TestValidate:
+    def test_valid_stream_passes(self):
+        validate_stream(make_stream())
+
+    def test_backwards_icount_rejected(self):
+        refs = [MemoryReference(10, 0, False), MemoryReference(5, 0, False)]
+        with pytest.raises(TraceFormatError):
+            validate_stream(CoreStream(0, 0, 0, refs))
+
+    def test_equal_icount_allowed(self):
+        refs = [MemoryReference(10, 0, False), MemoryReference(10, 0, False)]
+        validate_stream(CoreStream(0, 0, 0, refs))
+
+
+class TestInterleave:
+    def test_merges_by_icount(self):
+        a = CoreStream(0, 0, 1, [MemoryReference(1, 0, False),
+                                 MemoryReference(30, 0, False)])
+        b = CoreStream(1, 0, 2, [MemoryReference(10, 0, False),
+                                 MemoryReference(20, 0, False)])
+        order = [(s.core, r.icount) for s, r in interleave([a, b])]
+        assert order == [(0, 1), (1, 10), (1, 20), (0, 30)]
+
+    def test_tie_breaks_by_core(self):
+        a = CoreStream(1, 0, 1, [MemoryReference(5, 0, False)])
+        b = CoreStream(0, 0, 2, [MemoryReference(5, 0, False)])
+        order = [s.core for s, _ in interleave([a, b])]
+        assert order == [0, 1]
+
+    def test_empty_streams_ok(self):
+        assert list(interleave([CoreStream(0, 0, 0)])) == []
+
+    def test_all_references_delivered(self):
+        streams = [make_stream(core=c, n=7, start=c) for c in range(3)]
+        merged = list(interleave(streams))
+        assert len(merged) == 21
