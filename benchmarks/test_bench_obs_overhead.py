@@ -1,0 +1,60 @@
+"""Perf guard: the disabled-observability hot path must stay free.
+
+The observability tentpole promises that with tracing off the
+instrumentation compiled into the simulator costs one attribute check
+per event site.  This benchmark holds it to that: a default Machine
+(null tracer, histograms on) must run within 5% of a Machine with
+observability fully disabled (the seed simulator's exact hot path),
+plus a small absolute slack to absorb timer noise on short runs.
+"""
+
+from time import perf_counter
+
+from repro.common.config import SystemConfig
+from repro.core.system import Machine
+from repro.obs import Observability
+from repro.workloads.suite import get_profile
+
+_ROUNDS = 5
+_SLACK_SECONDS = 0.05
+
+
+def _make_run(obs_builder):
+    profile = get_profile("gups")
+    workload = profile.build(num_cores=2, refs_per_core=3000,
+                             seed=7, scale=0.2)
+
+    def run():
+        machine = Machine(SystemConfig(num_cores=2), scheme="pom",
+                          thp_large_fraction=profile.thp_large_fraction,
+                          seed=7, obs=obs_builder())
+        machine.run(workload.streams)
+
+    return run
+
+
+def _best_of(fn, rounds=_ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        started = perf_counter()
+        fn()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def test_bench_disabled_observability_overhead(benchmark):
+    baseline_run = _make_run(Observability.disabled)
+    default_run = _make_run(lambda: None)  # Machine's default Observability
+
+    baseline_run()  # shared warm-up: imports, allocator, branch caches
+    default_run()
+
+    baseline = _best_of(baseline_run)
+    instrumented = benchmark.pedantic(lambda: _best_of(default_run),
+                                      rounds=1, iterations=1)
+    overhead = instrumented / baseline - 1.0
+    print(f"\nbaseline {baseline:.3f}s, instrumented {instrumented:.3f}s, "
+          f"overhead {100 * overhead:+.1f}%")
+    assert instrumented <= baseline * 1.05 + _SLACK_SECONDS, (
+        f"disabled-observability hot path costs {100 * overhead:.1f}% "
+        f"(budget 5%)")

@@ -8,6 +8,8 @@ Public API highlights
 - :func:`repro.get_profile` / :data:`repro.BENCHMARKS` — the Table 2
   workload suite.
 - :func:`repro.estimate` — the Eq. 2-5 anchored performance model.
+- :class:`repro.Observability` — tracing, latency histograms and
+  windowed metrics for a :class:`repro.Machine` (see :mod:`repro.obs`).
 - :class:`repro.experiments.SuiteRunner` — drivers regenerating every
   paper figure and table (also via the ``pomtlb`` CLI).
 """
@@ -20,6 +22,7 @@ from .core import (
     SimulationResult,
     estimate,
 )
+from .obs import Observability
 from .workloads import BENCHMARKS, get_profile
 
 __version__ = "1.0.0"
@@ -28,6 +31,7 @@ __all__ = [
     "BENCHMARKS",
     "BaselineAnchor",
     "Machine",
+    "Observability",
     "PerformanceEstimate",
     "SimulationResult",
     "SystemConfig",

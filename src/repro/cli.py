@@ -5,18 +5,25 @@ Examples::
     pomtlb list
     pomtlb table2
     pomtlb fig8 --benchmarks mcf,gups --cores 2 --scale 0.2
+    pomtlb fig8 --benchmarks gups --trace-out trace.json --trace-sample 10
+    pomtlb details --benchmarks mcf --metrics-out windows.json
+    pomtlb profile --benchmarks mcf --scheme pom
     pomtlb campaign --output results.txt
 """
 
 from __future__ import annotations
 
 import argparse
+import io
+import json
+import os
 import sys
 from typing import List, Optional
 
 from .experiments import (ablations, campaign, consolidation, contention,
-                          details, figures, tables, tradeoff)
+                          details, figures, profiling, tables, tradeoff)
 from .experiments.runner import ExperimentParams, SuiteRunner
+from .obs import ChromeTraceSink, EventTracer, JsonlSink, Observability
 from .workloads.suite import BENCHMARKS
 
 #: Experiments addressable from the command line.  Static entries take
@@ -47,6 +54,8 @@ _DYNAMIC = {
     "ablation-prefetch": ablations.ablation_prefetch,
 }
 
+_SCHEMES = ("baseline", "pom", "pom_skewed", "shared_l2", "tsb")
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -55,7 +64,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     "tables and figures from simulation.")
     parser.add_argument("experiment",
                         choices=sorted(_STATIC) + sorted(_DYNAMIC)
-                        + ["campaign", "consolidation", "details", "list"],
+                        + ["campaign", "consolidation", "details", "profile",
+                           "list"],
                         help="which table/figure to regenerate")
     parser.add_argument("--benchmarks", default="",
                         help="comma-separated subset (default: all 15)")
@@ -67,13 +77,28 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="footprint scale factor (default 1.0)")
     parser.add_argument("--seed", type=int, default=None,
                         help="workload seed")
+    parser.add_argument("--scheme", default="pom", choices=_SCHEMES,
+                        help="translation scheme for 'profile' (default pom)")
     parser.add_argument("--json", action="store_true",
-                        help="emit the report as JSON")
+                        help="emit the report(s) as JSON")
     parser.add_argument("--bars", metavar="COLUMN", default="",
                         help="render an ASCII bar chart of COLUMN instead "
                              "of the table")
     parser.add_argument("--output", default="",
-                        help="write the report here instead of stdout")
+                        help="write the report here instead of stdout "
+                             "(written atomically)")
+    parser.add_argument("--trace-out", default="",
+                        help="write a structured event trace of every "
+                             "simulated run; a .json suffix selects Chrome "
+                             "trace-event format (Perfetto-loadable), "
+                             "anything else JSONL")
+    parser.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                        help="trace every N-th translation (default 1 = all)")
+    parser.add_argument("--metrics-out", default="",
+                        help="write time-windowed metrics (JSON) for every "
+                             "simulated run")
+    parser.add_argument("--window", type=int, default=1000, metavar="K",
+                        help="references per metrics window (default 1000)")
     return parser
 
 
@@ -90,11 +115,83 @@ def _params_from_args(args: argparse.Namespace) -> ExperimentParams:
     return ExperimentParams.from_env(**overrides)
 
 
+class _ObsSession:
+    """CLI-side observability plumbing shared by every run of one command.
+
+    Owns the trace sink (one file for all runs; ``run_meta`` events keep
+    them separable) and collects each run's windowed metrics so they can
+    be written as one JSON document at the end.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.sample = args.trace_sample
+        self.metrics_out = args.metrics_out
+        self.window = args.window if args.metrics_out else 0
+        if args.trace_out:
+            sink_cls = (ChromeTraceSink if args.trace_out.endswith(".json")
+                        else JsonlSink)
+            self.sink = sink_cls(args.trace_out)
+        else:
+            self.sink = None
+        self._runs: List[tuple] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink is not None or self.window > 0
+
+    def factory(self, benchmark: str, scheme: str) -> Observability:
+        """The :data:`~repro.experiments.runner.ObsFactory` for this CLI run."""
+        tracer = None
+        if self.sink is not None:
+            tracer = EventTracer([self.sink], sample=self.sample,
+                                 meta={"benchmark": benchmark,
+                                       "scheme": scheme})
+        obs = Observability(tracer=tracer, window=self.window)
+        self._runs.append((benchmark, scheme, obs))
+        return obs
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+        if self.metrics_out:
+            runs = [{"benchmark": benchmark, "scheme": scheme,
+                     **obs.windows.as_dict()}
+                    for benchmark, scheme, obs in self._runs
+                    if obs.windows is not None]
+            _atomic_write(self.metrics_out,
+                          json.dumps({"window": self.window, "runs": runs},
+                                     indent=2) + "\n")
+
+
+def _atomic_write(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a temp file + rename, never partially."""
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _render(args: argparse.Namespace, report) -> str:
+    if args.json:
+        return report.to_json() + "\n"
+    if args.bars:
+        return report.render_bars(args.bars) + "\n"
+    return report.render() + "\n"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         print("static:  ", ", ".join(sorted(_STATIC)))
-        print("dynamic: ", ", ".join(sorted(_DYNAMIC)), "+ campaign")
+        print("dynamic: ", ", ".join(sorted(_DYNAMIC)),
+              "+ campaign, details, profile")
         print("benchmarks:", ", ".join(BENCHMARKS))
         return 0
 
@@ -105,10 +202,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
-    out = open(args.output, "w") if args.output else sys.stdout
+    if args.experiment == "campaign" and args.bars:
+        print("campaign emits many reports; --bars only applies to "
+              "single-report experiments (e.g. 'pomtlb fig8 --bars "
+              "improvement_percent')", file=sys.stderr)
+        return 2
+
+    if args.trace_sample < 1:
+        print("--trace-sample must be >= 1", file=sys.stderr)
+        return 2
+
+    try:
+        obs = _ObsSession(args)
+    except OSError as exc:
+        print(f"cannot open --trace-out file: {exc}", file=sys.stderr)
+        return 2
+    obs_factory = obs.factory if obs.enabled else None
     try:
         if args.experiment == "campaign":
-            campaign.run_all(_params_from_args(args), benchmarks, out=out)
+            if args.json:
+                reports = campaign.run_all(_params_from_args(args), benchmarks,
+                                           out=io.StringIO(),
+                                           obs_factory=obs_factory)
+                text = json.dumps(
+                    [json.loads(report.to_json()) for report in reports],
+                    indent=2) + "\n"
+            else:
+                buffer = io.StringIO()
+                campaign.run_all(_params_from_args(args), benchmarks,
+                                 out=buffer if args.output else sys.stdout,
+                                 obs_factory=obs_factory)
+                text = buffer.getvalue()
         else:
             if args.experiment in _STATIC:
                 report = _STATIC[args.experiment]()
@@ -117,24 +241,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print("details needs exactly one --benchmarks entry",
                           file=sys.stderr)
                     return 2
-                runner = SuiteRunner(_params_from_args(args))
+                runner = SuiteRunner(_params_from_args(args),
+                                     obs_factory=obs_factory)
                 report = details.benchmark_details(runner, benchmarks[0])
+            elif args.experiment == "profile":
+                if len(benchmarks) != 1:
+                    print("profile needs exactly one --benchmarks entry",
+                          file=sys.stderr)
+                    return 2
+                report = profiling.profile_benchmark(
+                    _params_from_args(args), benchmarks[0],
+                    scheme=args.scheme)
             elif args.experiment == "consolidation":
                 report = consolidation.consolidation_study(
                     _params_from_args(args),
                     benchmarks or consolidation.DEFAULT_MIX)
             else:
-                runner = SuiteRunner(_params_from_args(args))
+                runner = SuiteRunner(_params_from_args(args),
+                                     obs_factory=obs_factory)
                 report = _DYNAMIC[args.experiment](runner, benchmarks)
-            if args.json:
-                out.write(report.to_json() + "\n")
-            elif args.bars:
-                out.write(report.render_bars(args.bars) + "\n")
-            else:
-                out.write(report.render() + "\n")
+            text = _render(args, report)
     finally:
-        if args.output:
-            out.close()
+        obs.close()
+
+    if args.output:
+        try:
+            _atomic_write(args.output, text)
+        except OSError as exc:
+            print(f"cannot write --output file: {exc}", file=sys.stderr)
+            return 2
+    else:
+        sys.stdout.write(text)
     return 0
 
 

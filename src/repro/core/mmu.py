@@ -30,6 +30,8 @@ from ..cache.hierarchy import CacheHierarchy
 from ..common import addr
 from ..common.config import SharedL2Config, SystemConfig, TsbConfig
 from ..common.stats import StatRegistry
+from ..obs import events
+from ..obs.tracer import NULL_TRACER
 from ..tlb.entry import TlbEntry, TlbKey
 from ..tlb.shared_l2 import SharedLastLevelTlb
 from ..tlb.tlb import SramTlb
@@ -85,6 +87,8 @@ class TranslationScheme:
         self.cores: List[_CoreTlbs] = [
             _CoreTlbs(config, stats, core) for core in range(config.num_cores)]
         self.mmu_stats = stats.group("mmu")
+        #: Event tracer; the null object unless Observability attaches one.
+        self.trace = NULL_TRACER
 
     # -- main entry point ---------------------------------------------------
 
@@ -92,21 +96,40 @@ class TranslationScheme:
                   page: ResolvedPage) -> TranslationResult:
         """Translate one reference; ``page`` is the functional truth."""
         tlbs = self.cores[core]
+        tr = self.trace
+        if tr.enabled:
+            tr.begin(core=core, vm=vm_id, asid=asid, vaddr=vaddr,
+                     scheme=self.name)
         key = _key_for(vm_id, asid, vaddr, page.large)
         cycles = tlbs.l1_latency
         if tlbs.l1(page.large).lookup(key) is not None:
+            if tr.active:
+                tr.emit(events.TLB_PROBE, cycles=cycles, level="l1", hit=True)
+                tr.end(cycles=cycles, l2_miss=False, penalty=0)
             return TranslationResult(cycles, False, 0)
+        if tr.active:
+            tr.emit(events.TLB_PROBE, cycles=tlbs.l1_latency, level="l1",
+                    hit=False)
         cycles += tlbs.l2_latency
         if tlbs.l2.lookup(key) is not None:
             tlbs.l1(page.large).insert(key, TlbEntry(page.host_frame >>
                                                      addr.page_shift(page.large)))
+            if tr.active:
+                tr.emit(events.TLB_PROBE, cycles=tlbs.l2_latency, level="l2",
+                        hit=True)
+                tr.end(cycles=cycles, l2_miss=False, penalty=0)
             return TranslationResult(cycles, False, 0)
+        if tr.active:
+            tr.emit(events.TLB_PROBE, cycles=tlbs.l2_latency, level="l2",
+                    hit=False)
         self.mmu_stats.inc("l2_tlb_misses")
         penalty = self._resolve_miss(core, vm_id, asid, vaddr, page)
         entry = TlbEntry(page.host_frame >> addr.page_shift(page.large))
         tlbs.l2.insert(key, entry)
         tlbs.l1(page.large).insert(key, entry)
         self.mmu_stats.inc("penalty_cycles", penalty)
+        if tr.active:
+            tr.end(cycles=cycles + penalty, l2_miss=True, penalty=penalty)
         return TranslationResult(cycles + penalty, True, penalty)
 
     def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
@@ -194,11 +217,15 @@ class PomTlbScheme(TranslationScheme):
     def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
                       page: ResolvedPage) -> int:
         predictor = self.predictors[core]
+        tr = self.trace
         cycles = 1  # predictor lookup
         predicted_large = predictor.predict_size(vaddr)
         bypass = (self._cache_entries
                   and self.config.predictor.bypass_enabled
                   and predictor.predict_bypass(vaddr))
+        if tr.active:
+            tr.emit(events.PREDICTOR, cycles=1,
+                    predicted_large=predicted_large, bypass=bool(bypass))
         true_addr = self.pom.set_address(vaddr, vm_id, page.large)
         line_was_cached = (self._cache_entries
                            and self.hierarchy.tlb_line_cached(core, true_addr))
@@ -208,6 +235,9 @@ class PomTlbScheme(TranslationScheme):
             set_addr = self.pom.set_address(vaddr, vm_id, large)
             cycles += self._fetch_set(core, set_addr, bypass)
             entry = self.pom.probe(vaddr, _key_for(vm_id, asid, vaddr, large))
+            if tr.active:
+                tr.emit(events.POM_PROBE, attempt=attempt, large=large,
+                        hit=entry is not None)
             if entry is not None:
                 self.flow_stats.inc("resolved_first_try" if attempt == 0
                                     else "resolved_second_try")
@@ -259,16 +289,18 @@ class PomTlbScheme(TranslationScheme):
                 # Bypass skips the lookup latency, not the fill: the
                 # fetched set is still installed like any memory read.
                 self.hierarchy.tlb_line_fill(core, set_addr)
-            self.flow_stats.inc("set_from_dram_bypass" if bypass
-                                else "set_from_dram_uncached")
-            return cycles
-        cycles, level = self.hierarchy.tlb_line_probe(core, set_addr)
-        if level is None:
-            cycles += self.pom.dram_access(set_addr)
-            self.hierarchy.tlb_line_fill(core, set_addr)
-            self.flow_stats.inc("set_from_dram")
+            source = "dram_bypass" if bypass else "dram_uncached"
         else:
-            self.flow_stats.inc(f"set_from_{level}")
+            cycles, level = self.hierarchy.tlb_line_probe(core, set_addr)
+            if level is None:
+                cycles += self.pom.dram_access(set_addr)
+                self.hierarchy.tlb_line_fill(core, set_addr)
+                source = "dram"
+            else:
+                source = level
+        self.flow_stats.inc(f"set_from_{source}")
+        if self.trace.active:
+            self.trace.emit(events.POM_FETCH, cycles=cycles, source=source)
         return cycles
 
     def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
@@ -313,10 +345,20 @@ class SharedL2Scheme(TranslationScheme):
     def translate(self, core: int, vm_id: int, asid: int, vaddr: int,
                   page: ResolvedPage) -> TranslationResult:
         tlbs = self.cores[core]
+        tr = self.trace
+        if tr.enabled:
+            tr.begin(core=core, vm=vm_id, asid=asid, vaddr=vaddr,
+                     scheme=self.name)
         key = _key_for(vm_id, asid, vaddr, page.large)
         cycles = tlbs.l1_latency
         if tlbs.l1(page.large).lookup(key) is not None:
+            if tr.active:
+                tr.emit(events.TLB_PROBE, cycles=cycles, level="l1", hit=True)
+                tr.end(cycles=cycles, l2_miss=False, penalty=0)
             return TranslationResult(cycles, False, 0)
+        if tr.active:
+            tr.emit(events.TLB_PROBE, cycles=tlbs.l1_latency, level="l1",
+                    hit=False)
         entry_template = TlbEntry(page.host_frame >> addr.page_shift(page.large))
         # Shadow bookkeeping: would the baseline's private L2 have missed?
         shadow = self._shadow[core]
@@ -327,15 +369,24 @@ class SharedL2Scheme(TranslationScheme):
         cycles += self.shared.latency
         extra_hit_cost = max(0, self.shared.latency - self._baseline_l2_latency)
         entry = self.shared.lookup(key)
+        if tr.active:
+            tr.emit(events.TLB_PROBE, cycles=self.shared.latency,
+                    level="shared_l2", hit=entry is not None)
         if entry is not None:
             tlbs.l1(page.large).insert(key, entry)
             self.mmu_stats.inc("penalty_cycles", extra_hit_cost)
+            if tr.active:
+                tr.end(cycles=cycles, l2_miss=shadow_miss,
+                       penalty=extra_hit_cost)
             return TranslationResult(cycles, shadow_miss, extra_hit_cost)
         penalty = extra_hit_cost + tlbs.l2_miss_overhead
         penalty += self._walk(core, vm_id, asid, vaddr)  # dispatch as baseline
         self.shared.insert(key, entry_template)
         tlbs.l1(page.large).insert(key, entry_template)
         self.mmu_stats.inc("penalty_cycles", penalty)
+        if tr.active:
+            tr.end(cycles=cycles + penalty, l2_miss=shadow_miss,
+                   penalty=penalty)
         return TranslationResult(cycles + penalty, shadow_miss, penalty)
 
     def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
@@ -367,20 +418,29 @@ class TsbScheme(TranslationScheme):
     def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
                       page: ResolvedPage) -> int:
         cfg = self.tsb_config
+        tr = self.trace
         cycles = cfg.trap_cycles
         vpn = vaddr >> addr.page_shift(page.large)
         gpa_addr = page.guest_frame | addr.page_offset(vaddr, page.large)
         gpa_vpn = self.tsb.gpa_vpn(gpa_addr)
         # First dependent access: guest half (gVA -> gPA).
-        cycles += self.hierarchy.data_access(
+        guest_cycles = self.hierarchy.data_access(
             core, self.tsb.guest_entry_address(vm_id, asid, vpn))
+        cycles += guest_cycles
         gpa_frame = self.tsb.probe_guest(vm_id, asid, vpn, page.large)
+        if tr.active:
+            tr.emit(events.TSB_PROBE, cycles=guest_cycles, half="guest",
+                    hit=gpa_frame is not None)
         resolved = False
         if gpa_frame is not None:
             # Second dependent access: host half (gPA -> hPA).
-            cycles += self.hierarchy.data_access(
+            host_cycles = self.hierarchy.data_access(
                 core, self.tsb.host_entry_address(vm_id, gpa_vpn))
+            cycles += host_cycles
             resolved = self.tsb.probe_host(vm_id, gpa_vpn) is not None
+            if tr.active:
+                tr.emit(events.TSB_PROBE, cycles=host_cycles, half="host",
+                        hit=resolved)
         if not resolved:
             # Software page walk + TSB refill (stores to both halves).
             cycles += self._walk(core, vm_id, asid, vaddr)
@@ -433,11 +493,15 @@ class SkewedPomScheme(TranslationScheme):
     def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
                       page: ResolvedPage) -> int:
         predictor = self.predictors[core]
+        tr = self.trace
         cycles = 1  # predictor lookup
         predicted_large = predictor.predict_size(vaddr)
         bypass = (self._cache_entries
                   and self.config.predictor.bypass_enabled
                   and predictor.predict_bypass(vaddr))
+        if tr.active:
+            tr.emit(events.PREDICTOR, cycles=1,
+                    predicted_large=predicted_large, bypass=bool(bypass))
         true_key = _key_for(vm_id, asid, vaddr, page.large)
         first_line = self.pom.lines_for_key(true_key)[0]
         line_was_cached = (self._cache_entries
@@ -451,6 +515,9 @@ class SkewedPomScheme(TranslationScheme):
                 entry = self.pom.probe_way(key, way)
                 if entry is not None:
                     break
+            if tr.active:
+                tr.emit(events.POM_PROBE, attempt=attempt, large=large,
+                        hit=entry is not None)
             if entry is not None:
                 self.flow_stats.inc("resolved_first_try" if attempt == 0
                                     else "resolved_second_try")
@@ -474,16 +541,18 @@ class SkewedPomScheme(TranslationScheme):
             cycles = self.pom.dram_access(line_addr)
             if bypass:
                 self.hierarchy.tlb_line_fill(core, line_addr)
-            self.flow_stats.inc("set_from_dram_bypass" if bypass
-                                else "set_from_dram_uncached")
-            return cycles
-        cycles, level = self.hierarchy.tlb_line_probe(core, line_addr)
-        if level is None:
-            cycles += self.pom.dram_access(line_addr)
-            self.hierarchy.tlb_line_fill(core, line_addr)
-            self.flow_stats.inc("set_from_dram")
+            source = "dram_bypass" if bypass else "dram_uncached"
         else:
-            self.flow_stats.inc(f"set_from_{level}")
+            cycles, level = self.hierarchy.tlb_line_probe(core, line_addr)
+            if level is None:
+                cycles += self.pom.dram_access(line_addr)
+                self.hierarchy.tlb_line_fill(core, line_addr)
+                source = "dram"
+            else:
+                source = level
+        self.flow_stats.inc(f"set_from_{source}")
+        if self.trace.active:
+            self.trace.emit(events.POM_FETCH, cycles=cycles, source=source)
         return cycles
 
     def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,

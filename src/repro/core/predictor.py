@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from ..common.config import PredictorConfig
 from ..common.stats import StatGroup
+from ..obs import events
+from ..obs.tracer import NULL_TRACER
 
 
 class SizeBypassPredictor:
@@ -28,6 +30,8 @@ class SizeBypassPredictor:
     def __init__(self, config: PredictorConfig, stats: StatGroup) -> None:
         self.config = config
         self.stats = stats
+        #: Event tracer; the null object unless Observability attaches one.
+        self.trace = NULL_TRACER
         self._mask = config.entries - 1
         self._shift = config.index_shift
         # Saturating counter per entry; >= threshold predicts 2 MiB.
@@ -59,6 +63,9 @@ class SizeBypassPredictor:
             self.stats.inc("size_correct")
         else:
             self.stats.inc("size_wrong")
+        if self.trace.active:
+            self.trace.emit(events.PREDICTOR_TRAIN, kind="size",
+                            correct=correct)
         if actual_large:
             if counter < self._size_max:
                 self._size_counters[idx] = counter + 1
@@ -86,6 +93,9 @@ class SizeBypassPredictor:
             self.stats.inc("bypass_correct")
         else:
             self.stats.inc("bypass_wrong")
+        if self.trace.active:
+            self.trace.emit(events.PREDICTOR_TRAIN, kind="bypass",
+                            correct=correct)
         self._bypass_bits[idx] = int(should_bypass)
         return correct
 

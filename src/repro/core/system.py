@@ -24,6 +24,9 @@ from ..cache.hierarchy import CacheHierarchy
 from ..common import addr
 from ..common.config import SystemConfig
 from ..common.stats import StatRegistry
+from ..obs import Observability
+from ..obs.histogram import LogHistogram
+from ..obs.windows import WindowedMetrics
 from ..vmm.thp import ThpPolicy
 from ..vmm.vm import Host, NativeProcess, ResolvedPage
 from ..workloads.trace import CoreStream, interleave
@@ -44,6 +47,11 @@ class SimulationResult:
     data_cycles: int
     page_walks: int
     stats: StatRegistry = field(repr=False)
+    #: Latency histograms (translation/penalty/DRAM), None when disabled.
+    histograms: Optional[Dict[str, LogHistogram]] = field(default=None,
+                                                          repr=False)
+    #: Windowed warm-up metrics, None unless a window size was configured.
+    windows: Optional[WindowedMetrics] = field(default=None, repr=False)
 
     @property
     def avg_penalty_per_miss(self) -> float:
@@ -115,6 +123,21 @@ class SimulationResult:
             return 0.0
         return group["row_hits"] / group["accesses"]
 
+    # -- latency distributions ------------------------------------------------
+
+    def latency_percentiles(self, name: str = "translation_cycles"
+                            ) -> Dict[str, float]:
+        """p50/p90/p99/max of one collected histogram (zeros when absent).
+
+        ``name`` is one of :data:`repro.obs.HISTOGRAMS`:
+        ``translation_cycles``, ``penalty_cycles``, ``dram_access_cycles``.
+        """
+        histogram = (self.histograms or {}).get(name)
+        if histogram is None or not histogram.count:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        return {"p50": histogram.p50, "p90": histogram.p90,
+                "p99": histogram.p99, "max": float(histogram.max)}
+
 
 class Machine:
     """One simulated system running one translation scheme."""
@@ -124,6 +147,7 @@ class Machine:
                  tlb_priority: bool = False,
                  host_memory_bytes: int = 64 * addr.GiB,
                  thp_fractions: Optional[Dict[int, float]] = None,
+                 obs: Optional[Observability] = None,
                  **scheme_kwargs) -> None:
         self.config = config
         self.seed = seed
@@ -141,6 +165,8 @@ class Machine:
         self.scheme: TranslationScheme = make_scheme(
             scheme, config, self.stats, self.hierarchy, self.walkers,
             **scheme_kwargs)
+        self.obs = obs if obs is not None else Observability()
+        self.obs.attach(self)
 
     # -- software contexts ----------------------------------------------------
 
@@ -193,6 +219,14 @@ class Machine:
                 raise ValueError(
                     f"stream core {stream.core} >= {self.config.num_cores} cores")
         mmu_stats = self.stats.group("mmu")
+        obs = self.obs
+        tracer = obs.tracer
+        histograms = obs.histograms
+        translation_hist = penalty_hist = None
+        if histograms is not None:
+            translation_hist = histograms["translation_cycles"]
+            penalty_hist = histograms["penalty_cycles"]
+        windows = obs.windows
         references = 0
         translation_cycles = 0
         data_cycles = 0
@@ -212,6 +246,9 @@ class Machine:
                 translation_cycles = 0
                 data_cycles = 0
                 self.stats.reset()
+                obs.reset()
+                if tracer.enabled:
+                    tracer.marker("stats_reset")
                 warmup_boundary = dict(last_icount)
             if in_warmup:
                 key = -1 if -1 in warmup_remaining else stream.core
@@ -226,6 +263,12 @@ class Machine:
             hpa = page.host_frame | addr.page_offset(ref.vaddr, page.large)
             data_cycles += self.hierarchy.data_access(stream.core, hpa,
                                                       is_write=ref.write)
+            if translation_hist is not None:
+                translation_hist.record(result.cycles)
+                if result.l2_miss:
+                    penalty_hist.record(result.penalty)
+            if windows is not None:
+                windows.record(result.cycles, result.l2_miss, result.penalty)
             last_icount[stream.core] = ref.icount
             references += 1
             if max_references is not None and references >= max_references:
@@ -233,6 +276,8 @@ class Machine:
         if in_warmup:
             raise ValueError(
                 f"warmup ({warmup_references}) consumed the whole trace")
+        if windows is not None:
+            windows.finish()
         instructions = sum(
             last_icount[core] - warmup_boundary.get(core, 0)
             for core in last_icount)
@@ -246,6 +291,8 @@ class Machine:
             data_cycles=data_cycles,
             page_walks=int(mmu_stats["page_walks"]),
             stats=self.stats,
+            histograms=histograms,
+            windows=windows,
         )
 
     # -- OS-visible operations --------------------------------------------------

@@ -18,6 +18,8 @@ from ..cache.hierarchy import CacheHierarchy
 from ..common import addr
 from ..common.config import SystemConfig
 from ..common.stats import StatRegistry
+from ..obs import events
+from ..obs.tracer import NULL_TRACER
 from ..paging.nested import NestedWalker
 from ..paging.walk_cache import PagingStructureCache
 from ..paging.walker import NativeWalker
@@ -50,6 +52,8 @@ class WalkerPool:
         self.host = host
         self.native_resolver = native_resolver
         self.virtualized = config.virtualized
+        #: Event tracer; the null object unless Observability attaches one.
+        self.trace = NULL_TRACER
         self._walkers: Dict[Tuple[int, int, int],
                             Union[NestedWalker, NativeWalker]] = {}
 
@@ -75,6 +79,7 @@ class WalkerPool:
                                               self.stats.group(f"{tag}.hpsc")),
                 pte_access=self._pte_access(core),
                 stats=self.stats.group(f"{tag}.walker"),
+                tracer=self.trace,
             )
         else:
             if self.native_resolver is None:
@@ -86,6 +91,7 @@ class WalkerPool:
                                          self.stats.group(f"{tag}.psc")),
                 pte_access=self._pte_access(core),
                 stats=self.stats.group(f"{tag}.walker"),
+                tracer=self.trace,
             )
         self._walkers[key] = walker
         return walker
@@ -95,16 +101,22 @@ class WalkerPool:
         walker = self._walker_for(core, vm_id, asid)
         if self.virtualized:
             outcome = walker.walk(vaddr)
-            return WalkResult(cycles=outcome.cycles,
-                              memory_refs=outcome.memory_refs,
-                              host_frame=outcome.host_frame,
-                              large=outcome.large)
-        outcome = walker.walk(vaddr)
-        frame = outcome.leaf.frame & ~(addr.page_size(outcome.leaf.large) - 1)
-        return WalkResult(cycles=outcome.cycles,
-                          memory_refs=outcome.memory_refs,
-                          host_frame=frame,
-                          large=outcome.leaf.large)
+            result = WalkResult(cycles=outcome.cycles,
+                                memory_refs=outcome.memory_refs,
+                                host_frame=outcome.host_frame,
+                                large=outcome.large)
+        else:
+            outcome = walker.walk(vaddr)
+            frame = (outcome.leaf.frame
+                     & ~(addr.page_size(outcome.leaf.large) - 1))
+            result = WalkResult(cycles=outcome.cycles,
+                                memory_refs=outcome.memory_refs,
+                                host_frame=frame,
+                                large=outcome.leaf.large)
+        if self.trace.active:
+            self.trace.emit(events.WALK, cycles=result.cycles,
+                            refs=result.memory_refs)
+        return result
 
     def invalidate(self, vm_id: int, asid: int, vaddr: int) -> None:
         """Drop PSC entries covering ``vaddr`` in every core's walker."""

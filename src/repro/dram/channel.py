@@ -13,6 +13,8 @@ from __future__ import annotations
 from ..common import addr
 from ..common.config import DramTimingConfig
 from ..common.stats import StatGroup
+from ..obs import events
+from ..obs.tracer import NULL_TRACER
 from .bank import DramBank
 from .mapping import AddressMapper
 
@@ -27,6 +29,11 @@ class DramChannel:
         self.stats = stats
         self.mapper = AddressMapper(timing)
         self._banks = [DramBank(i, timing, stats) for i in range(timing.banks)]
+        #: Event tracer; the null object unless Observability attaches one.
+        self.trace = NULL_TRACER
+        #: Optional latency histogram (set by Observability on the
+        #: stacked-DRAM channel); None keeps the hot path untouched.
+        self.histogram = None
 
     def _burst_cycles(self, nbytes: int) -> int:
         """Bus cycles to move ``nbytes`` over a double-data-rate bus."""
@@ -37,12 +44,23 @@ class DramChannel:
         """Read/write ``nbytes`` at ``paddr``; returns CPU-cycle latency."""
         coord = self.mapper.map(paddr)
         bank = self._banks[coord.bank]
+        tracing = self.trace.active
+        if tracing:
+            open_row = bank.open_row
+            outcome = ("hit" if open_row == coord.row
+                       else "miss" if open_row is None else "conflict")
         bus_cycles = (self.timing.controller_cycles
                       + bank.access(coord.row)
                       + self._burst_cycles(nbytes))
         self.stats.inc("accesses")
         self.stats.inc("bytes", nbytes)
-        return self.timing.cpu_cycles(bus_cycles, self.cpu_mhz)
+        cycles = self.timing.cpu_cycles(bus_cycles, self.cpu_mhz)
+        if self.histogram is not None:
+            self.histogram.record(cycles)
+        if tracing:
+            self.trace.emit(events.DRAM_ACCESS, cycles=cycles,
+                            bank=coord.bank, row=coord.row, outcome=outcome)
+        return cycles
 
     def row_buffer_hit_rate(self) -> float:
         """Fraction of accesses served from an open row buffer."""

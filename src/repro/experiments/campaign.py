@@ -16,7 +16,7 @@ from typing import Iterable, List, Optional, TextIO
 from ..workloads.suite import BENCHMARKS
 from . import figures, tables
 from .report import Report
-from .runner import ExperimentParams, SuiteRunner
+from .runner import ExperimentParams, ObsFactory, SuiteRunner
 
 #: Subset used for the (expensive) sensitivity sweeps; spans the
 #: pattern space: pointer-chase, random, scan, grid, graph, mixed.
@@ -27,10 +27,11 @@ SENSITIVITY_BENCHMARKS = ("astar", "gups", "mcf", "lbm",
 def run_all(params: Optional[ExperimentParams] = None,
             benchmarks: Iterable[str] = (),
             out: TextIO = sys.stdout,
-            include_sensitivity: bool = True) -> List[Report]:
+            include_sensitivity: bool = True,
+            obs_factory: Optional[ObsFactory] = None) -> List[Report]:
     """Run the whole campaign, streaming rendered reports to ``out``."""
     params = params or ExperimentParams.from_env()
-    runner = SuiteRunner(params)
+    runner = SuiteRunner(params, obs_factory=obs_factory)
     names = list(benchmarks) or list(BENCHMARKS)
     reports: List[Report] = []
 

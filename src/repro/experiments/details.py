@@ -63,6 +63,29 @@ def benchmark_details(runner: SuiteRunner, benchmark: str) -> Report:
     report.add_row("stacked-DRAM row-buffer hit rate",
                    result.row_buffer_hit_rate())
     report.add_row("POM-TLB set-probe hit rate", result.pom_hit_ratio())
+
+    _add_latency_rows(report, result)
     report.add_note("set-fetch shares count every candidate-line fetch, "
                     "including second-size retries")
     return report
+
+
+#: (histogram name, row label) pairs rendered by ``_add_latency_rows``.
+_LATENCY_ROWS = (
+    ("translation_cycles", "translation cycles"),
+    ("penalty_cycles", "penalty cycles"),
+    ("dram_access_cycles", "stacked-DRAM access cycles"),
+)
+
+
+def _add_latency_rows(report: Report, result: SimulationResult) -> None:
+    """p50/p90/p99/max rows from the run's latency histograms."""
+    if not result.histograms:
+        return
+    for name, label in _LATENCY_ROWS:
+        histogram = result.histograms.get(name)
+        if histogram is None or not histogram.count:
+            continue
+        percentiles = result.latency_percentiles(name)
+        for quantile in ("p50", "p90", "p99", "max"):
+            report.add_row(f"{label} {quantile}", percentiles[quantile])

@@ -10,13 +10,18 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..common import addr
 from ..common.config import PomTlbConfig, PredictorConfig, SystemConfig
 from ..core.perfmodel import PerformanceEstimate, estimate
 from ..core.system import Machine, SimulationResult
+from ..obs import Observability
 from ..workloads.suite import BENCHMARKS, get_profile
+
+#: Builds the per-run Observability for (benchmark, scheme); None means
+#: the Machine default (histograms on, tracing off).
+ObsFactory = Callable[[str, str], Optional[Observability]]
 
 
 @dataclass(frozen=True)
@@ -89,8 +94,10 @@ class BenchmarkRun:
 class SuiteRunner:
     """Runs suite benchmarks under schemes, memoising by configuration."""
 
-    def __init__(self, params: Optional[ExperimentParams] = None) -> None:
+    def __init__(self, params: Optional[ExperimentParams] = None,
+                 obs_factory: Optional[ObsFactory] = None) -> None:
         self.params = params or ExperimentParams()
+        self.obs_factory = obs_factory
         self._cache: Dict[Tuple, BenchmarkRun] = {}
 
     def run(self, benchmark: str, scheme: str,
@@ -105,10 +112,12 @@ class SuiteRunner:
         workload = profile.build(num_cores=params.num_cores,
                                  refs_per_core=params.refs_per_core,
                                  seed=params.seed, scale=params.scale)
+        obs = self.obs_factory(benchmark, scheme) if self.obs_factory else None
         machine = Machine(params.system_config(), scheme=scheme,
                           thp_large_fraction=profile.thp_large_fraction,
                           seed=params.seed,
-                          tlb_priority=params.tlb_priority)
+                          tlb_priority=params.tlb_priority,
+                          obs=obs)
         result = machine.run(
             workload.streams,
             warmup_references=workload.warmup_by_core

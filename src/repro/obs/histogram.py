@@ -1,0 +1,136 @@
+"""Log-bucketed latency histograms with percentile estimation.
+
+A :class:`LogHistogram` keeps one counter per power-of-two bucket
+(bucket ``b`` holds values in ``[2**(b-1), 2**b - 1]``; bucket 0 holds
+the value 0), so recording is O(1) with constant, tiny memory no matter
+how long the run — the property that lets the simulator keep latency
+distributions on by default.  Percentiles are estimated by linear
+interpolation inside the covering bucket and clamped to the observed
+``[min, max]`` range, which makes single-sample and constant-valued
+histograms exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class LogHistogram:
+    """Power-of-two-bucketed histogram of non-negative integer latencies."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max = 0
+        self._buckets: Dict[int, int] = {}
+
+    # -- recording (hot path) ----------------------------------------------
+
+    def record(self, value: int) -> None:
+        """Count one observation of ``value`` (negative values clamp to 0)."""
+        if value < 0:
+            value = 0
+        bucket = int(value).bit_length()
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (``0 <= p <= 100``)."""
+        if not self.count:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        target = max(1, -(-self.count * p // 100))  # ceil, at least rank 1
+        cumulative = 0
+        estimate = 0.0
+        for bucket in sorted(self._buckets):
+            in_bucket = self._buckets[bucket]
+            if cumulative + in_bucket >= target:
+                lo = 0 if bucket == 0 else 1 << (bucket - 1)
+                hi = 0 if bucket == 0 else (1 << bucket) - 1
+                fraction = (target - cumulative) / in_bucket
+                estimate = lo + fraction * (hi - lo)
+                break
+            cumulative += in_bucket
+        low = self.min if self.min is not None else 0
+        return float(min(max(estimate, low), self.max))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget every observation (used at the warmup boundary)."""
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = 0
+        self._buckets.clear()
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Accumulate another histogram's observations into this one."""
+        for bucket, n in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.max > self.max:
+                self.max = other.max
+            if self.min is None or (other.min is not None
+                                    and other.min < self.min):
+                self.min = other.min
+
+    # -- reporting ----------------------------------------------------------
+
+    def buckets(self) -> List[List[int]]:
+        """``[lo, hi, count]`` rows for every non-empty bucket, ascending."""
+        rows = []
+        for bucket in sorted(self._buckets):
+            lo = 0 if bucket == 0 else 1 << (bucket - 1)
+            hi = 0 if bucket == 0 else (1 << bucket) - 1
+            rows.append([lo, hi, self._buckets[bucket]])
+        return rows
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary: moments, percentiles and bucket rows."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "buckets": self.buckets(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LogHistogram({self.name!r}, n={self.count}, "
+                f"p50={self.p50:.0f}, p99={self.p99:.0f}, max={self.max})")

@@ -1,0 +1,98 @@
+"""Trace loading, validation and counter replay.
+
+The observability layer's correctness contract is that an unsampled
+(``sample=1``) JSONL trace carries enough information to *recompute* the
+aggregate counters the simulator reports — events and counters must
+agree.  :func:`replay_counters` is that recomputation; the test suite
+and the CI smoke job run it against real traces.
+
+``marker`` events named ``stats_reset`` (emitted at the warmup boundary,
+where :class:`~repro.common.stats.StatRegistry` is zeroed) reset the
+replayed counters the same way, so warmed-up runs replay correctly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Union
+
+from . import events
+
+
+def load_jsonl(path: str, validate: bool = True) -> List[dict]:
+    """Parse a JSONL trace file; optionally schema-validate every event."""
+    out: List[dict] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+            if validate:
+                events.validate_event(event)
+            out.append(event)
+    return out
+
+
+def load_chrome(path: str) -> List[dict]:
+    """Parse a Chrome trace file; returns its ``traceEvents`` list."""
+    with open(path) as handle:
+        document = json.load(handle)
+    trace_events = document.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise ValueError(f"{path}: no traceEvents array")
+    return trace_events
+
+
+def _zero() -> Dict[str, Union[int, Dict[str, int]]]:
+    return {
+        "translations": 0,
+        "l2_tlb_misses": 0,
+        "penalty_cycles": 0,
+        "page_walks": 0,
+        "page_walk_cycles": 0,
+        "walk_refs": 0,
+        "pom_fetches": {},       # source -> count
+        "dram_accesses": 0,
+        "dram_row_outcomes": {},  # hit/miss/conflict -> count
+    }
+
+
+def replay_counters(trace: Iterable[dict]) -> Dict[str, object]:
+    """Recompute aggregate counters from a trace's events.
+
+    Counter names mirror the simulator's: ``l2_tlb_misses``,
+    ``penalty_cycles``, ``page_walks`` and ``page_walk_cycles`` match
+    the ``mmu`` stat group; ``pom_fetches[source]`` matches the
+    ``pom_flow`` group's ``set_from_<source>`` counters;
+    ``dram_row_outcomes`` matches the stacked-DRAM channel's
+    ``row_hits``/``row_misses``/``row_conflicts``.
+    """
+    counters = _zero()
+    for event in trace:
+        etype = event["type"]
+        if etype == events.MARKER and event.get("name") == "stats_reset":
+            counters = _zero()
+        elif etype == events.TRANSLATION:
+            counters["translations"] += 1
+            # Penalty is summed unconditionally: Shared_L2 charges its
+            # extra hit latency as penalty even when the shadow L2 hit.
+            counters["penalty_cycles"] += event["penalty"]
+            if event["l2_miss"]:
+                counters["l2_tlb_misses"] += 1
+        elif etype == events.WALK:
+            counters["page_walks"] += 1
+            counters["page_walk_cycles"] += event["cycles"]
+            counters["walk_refs"] += event["refs"]
+        elif etype == events.POM_FETCH:
+            fetches = counters["pom_fetches"]
+            fetches[event["source"]] = fetches.get(event["source"], 0) + 1
+        elif etype == events.DRAM_ACCESS:
+            counters["dram_accesses"] += 1
+            outcomes = counters["dram_row_outcomes"]
+            outcome = event["outcome"]
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    return counters

@@ -1,0 +1,114 @@
+"""Trace sinks: where :class:`~repro.obs.tracer.EventTracer` events go.
+
+* :class:`ListSink` — in-memory list, for tests and programmatic use.
+* :class:`JsonlSink` — one JSON object per line; the replay/validation
+  tooling (:mod:`repro.obs.replay`) consumes this format.
+* :class:`ChromeTraceSink` — Chrome trace-event JSON that Perfetto and
+  ``chrome://tracing`` load directly.  Events become complete (``X``)
+  slices on the virtual cycle timeline (1 cycle = 1 µs in the viewer);
+  each ``run_meta`` event starts a new process row so several runs
+  sharing one sink stay visually separate.
+
+A sink may be shared by several tracers (sequential runs of one CLI
+invocation); writes are appended in arrival order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Union
+
+from . import events
+
+_BOOKKEEPING = ("type", "ts", "seq", "cycles", "core", "vm", "asid",
+                "vaddr", "scheme")
+
+
+class ListSink:
+    """Collect events in memory."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class _FileSink:
+    """Shared open/close handling for path-or-file-object sinks."""
+
+    def __init__(self, destination: Union[str, IO]) -> None:
+        if hasattr(destination, "write"):
+            self._file: IO = destination
+            self._owns = False
+        else:
+            self._file = open(destination, "w")
+            self._owns = True
+        self._closed = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._finish()
+        if self._owns:
+            self._file.close()
+        else:
+            self._file.flush()
+
+    def _finish(self) -> None:
+        pass
+
+
+class JsonlSink(_FileSink):
+    """One compact JSON object per line."""
+
+    def write(self, event: dict) -> None:
+        self._file.write(json.dumps(event, separators=(",", ":")))
+        self._file.write("\n")
+
+
+class ChromeTraceSink(_FileSink):
+    """Chrome trace-event (Perfetto-loadable) JSON file.
+
+    Buffers converted events and writes one ``{"traceEvents": [...]}``
+    document on close — the trace-event format is a single JSON value,
+    so it cannot be streamed line by line like JSONL.
+    """
+
+    def __init__(self, destination: Union[str, IO]) -> None:
+        super().__init__(destination)
+        self._events: List[dict] = []
+        self._pid = 0
+
+    def write(self, event: dict) -> None:
+        etype = event["type"]
+        if etype == events.RUN_META:
+            self._pid += 1
+            name = ":".join(str(event[k]) for k in ("benchmark", "scheme")
+                            if k in event) or f"run{self._pid}"
+            self._events.append({
+                "name": "process_name", "ph": "M", "pid": self._pid,
+                "tid": 0, "args": {"name": name}})
+            return
+        args = {k: v for k, v in event.items() if k not in _BOOKKEEPING}
+        record = {
+            "name": etype,
+            "ph": "X",
+            "ts": event["ts"],
+            "dur": max(int(event.get("cycles", 0)), 1),
+            "pid": self._pid,
+            "tid": event.get("core", 0),
+            "args": args,
+        }
+        if etype == events.MARKER:
+            record.update({"ph": "i", "s": "g"})
+            record.pop("dur")
+        self._events.append(record)
+
+    def _finish(self) -> None:
+        json.dump({"traceEvents": self._events, "displayTimeUnit": "ms"},
+                  self._file)

@@ -1,0 +1,123 @@
+"""Time-windowed metrics: warm-up vs steady state, made visible.
+
+:class:`WindowedMetrics` folds the per-reference outcomes the simulator
+already produces into fixed-size windows of K references and, at every
+window boundary, snapshots the deltas of a few structure-level counters
+(POM-TLB probe hits, predictor training outcomes) from the shared
+:class:`~repro.common.stats.StatRegistry`.  The result is one row per
+window — hit ratios, bypass-prediction accuracy, average penalty — so a
+plot over window index shows the POM-TLB and predictors warming up
+instead of a single end-of-run aggregate.
+
+The per-reference cost is a handful of integer adds; the registry is
+only read at window boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..common.stats import StatRegistry
+
+#: Structure-level counters snapshotted at window boundaries.
+_TRACKED = ("pom_hits", "pom_misses", "size_correct", "size_wrong",
+            "bypass_correct", "bypass_wrong")
+
+
+class WindowedMetrics:
+    """Per-K-references windows of hit ratios, accuracy and penalty."""
+
+    def __init__(self, window: int, stats: Optional[StatRegistry] = None) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.stats = stats
+        self.rows: List[Dict[str, float]] = []
+        self._refs = 0
+        self._cycles = 0
+        self._misses = 0
+        self._penalty = 0
+        self._snapshot = {key: 0.0 for key in _TRACKED}
+
+    # -- hot path -------------------------------------------------------------
+
+    def record(self, cycles: int, l2_miss: bool, penalty: int) -> None:
+        """Fold one translated reference into the current window."""
+        self._refs += 1
+        self._cycles += cycles
+        if l2_miss:
+            self._misses += 1
+            self._penalty += penalty
+        if self._refs >= self.window:
+            self._close_window(partial=False)
+
+    # -- window boundaries -----------------------------------------------------
+
+    def _counters(self) -> Dict[str, float]:
+        totals = {key: 0.0 for key in _TRACKED}
+        if self.stats is None:
+            return totals
+        for name, group in self.stats.groups().items():
+            if name == "pom_tlb":
+                totals["pom_hits"] += group["hits_small"] + group["hits_large"]
+                totals["pom_misses"] += (group["misses_small"]
+                                         + group["misses_large"])
+            elif name.endswith(".predictor"):
+                for key in ("size_correct", "size_wrong",
+                            "bypass_correct", "bypass_wrong"):
+                    totals[key] += group[key]
+        return totals
+
+    @staticmethod
+    def _ratio(numerator: float, denominator: float) -> float:
+        return numerator / denominator if denominator else 0.0
+
+    def _close_window(self, partial: bool) -> None:
+        now = self._counters()
+        delta = {key: now[key] - self._snapshot[key] for key in _TRACKED}
+        self._snapshot = now
+        row = {
+            "window": len(self.rows),
+            "references": self._refs,
+            "avg_translation_cycles": self._ratio(self._cycles, self._refs),
+            "l2_miss_ratio": self._ratio(self._misses, self._refs),
+            "avg_penalty_per_miss": self._ratio(self._penalty, self._misses),
+            "pom_hit_ratio": self._ratio(
+                delta["pom_hits"], delta["pom_hits"] + delta["pom_misses"]),
+            "size_accuracy": self._ratio(
+                delta["size_correct"],
+                delta["size_correct"] + delta["size_wrong"]),
+            "bypass_accuracy": self._ratio(
+                delta["bypass_correct"],
+                delta["bypass_correct"] + delta["bypass_wrong"]),
+        }
+        if partial:
+            row["partial"] = True
+        self.rows.append(row)
+        self._refs = 0
+        self._cycles = 0
+        self._misses = 0
+        self._penalty = 0
+
+    def finish(self) -> None:
+        """Close a trailing partial window, if any references are pending."""
+        if self._refs:
+            self._close_window(partial=True)
+
+    def reset(self) -> None:
+        """Drop collected rows and re-baseline (the warmup boundary)."""
+        self.rows.clear()
+        self._refs = 0
+        self._cycles = 0
+        self._misses = 0
+        self._penalty = 0
+        self._snapshot = self._counters()
+
+    # -- reporting ----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"window": self.window, "rows": list(self.rows)}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)

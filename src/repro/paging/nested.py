@@ -24,6 +24,8 @@ from typing import Tuple
 from ..common import addr
 from ..common.errors import AddressError
 from ..common.stats import StatGroup
+from ..obs import events
+from ..obs.tracer import NULL_TRACER
 from .page_table import LeafMapping, RadixPageTable
 from .walk_cache import PagingStructureCache
 from .walker import PteAccess
@@ -50,13 +52,15 @@ class NestedWalker:
 
     def __init__(self, guest_table: RadixPageTable, host_table: RadixPageTable,
                  guest_psc: PagingStructureCache, host_psc: PagingStructureCache,
-                 pte_access: PteAccess, stats: StatGroup) -> None:
+                 pte_access: PteAccess, stats: StatGroup,
+                 tracer=NULL_TRACER) -> None:
         self.guest_table = guest_table
         self.host_table = host_table
         self.guest_psc = guest_psc
         self.host_psc = host_psc
         self._pte_access = pte_access
         self.stats = stats
+        self.trace = tracer
 
     # -- host dimension ----------------------------------------------------------
 
@@ -76,10 +80,15 @@ class NestedWalker:
             self.stats.inc("host_psc_stale")
             self.host_psc.invalidate(gpa)
             steps, leaf = self.host_table.walk(gpa)
+        tr = self.trace
         refs = 0
         for step in steps:
-            cycles += self._pte_access(step.pte_paddr)
+            step_cycles = self._pte_access(step.pte_paddr)
+            cycles += step_cycles
             refs += 1
+            if tr.active:
+                tr.emit(events.WALK_STEP, cycles=step_cycles, dim="host",
+                        level=step.level)
         deepest = 2 if leaf.large else 1
         for level in range(deepest, addr.RADIX_LEVELS):
             base = self.host_table.table_base(gpa, level)
@@ -103,6 +112,7 @@ class NestedWalker:
             self.guest_psc.invalidate(gva)
             cached = None
             steps, leaf = self.guest_table.walk(gva)
+        tr = self.trace
         total_refs = 0
         for position, step in enumerate(steps):
             if position == 0 and cached is not None:
@@ -114,8 +124,12 @@ class NestedWalker:
                 pte_hpa, host_cycles, host_refs = self.host_translate(step.pte_paddr)
                 cycles += host_cycles
                 total_refs += host_refs
-            cycles += self._pte_access(pte_hpa)
+            step_cycles = self._pte_access(pte_hpa)
+            cycles += step_cycles
             total_refs += 1
+            if tr.active:
+                tr.emit(events.WALK_STEP, cycles=step_cycles, dim="guest",
+                        level=step.level)
         # Final column: translate the data page's gPA through the host.
         gpa_page = leaf.frame
         host_frame_addr, host_cycles, host_refs = self.host_translate(gpa_page)

@@ -14,6 +14,8 @@ from typing import Callable
 from ..common import addr
 from ..common.errors import AddressError
 from ..common.stats import StatGroup
+from ..obs import events
+from ..obs.tracer import NULL_TRACER
 from .page_table import LeafMapping, RadixPageTable
 from .walk_cache import PagingStructureCache
 
@@ -37,11 +39,13 @@ class NativeWalker:
     """Walks one radix table, accelerated by a paging-structure cache."""
 
     def __init__(self, page_table: RadixPageTable, psc: PagingStructureCache,
-                 pte_access: PteAccess, stats: StatGroup) -> None:
+                 pte_access: PteAccess, stats: StatGroup,
+                 tracer=NULL_TRACER) -> None:
         self.page_table = page_table
         self.psc = psc
         self._pte_access = pte_access
         self.stats = stats
+        self.trace = tracer
 
     def walk(self, vaddr: int) -> WalkOutcome:
         """Translate ``vaddr``; cycles include PSC lookup and PTE accesses."""
@@ -56,10 +60,15 @@ class NativeWalker:
             self.stats.inc("psc_stale")
             self.psc.invalidate(vaddr)
             steps, leaf = self.page_table.walk(vaddr)
+        tr = self.trace
         refs = 0
         for step in steps:
-            cycles += self._pte_access(step.pte_paddr)
+            step_cycles = self._pte_access(step.pte_paddr)
+            cycles += step_cycles
             refs += 1
+            if tr.active:
+                tr.emit(events.WALK_STEP, cycles=step_cycles, dim="native",
+                        level=step.level)
         self._refill_psc(vaddr, leaf)
         self.stats.inc("walks")
         self.stats.inc("walk_cycles", cycles)

@@ -46,6 +46,15 @@ class TestStatGroup:
         assert g["hits"] == 0
         assert g.as_dict() == {}
 
+    def test_reset_forgets_keys_entirely(self):
+        g = StatGroup("g")
+        g.inc("hits", 4)
+        g.reset()
+        assert "hits" not in g           # forgotten, not kept at zero
+        assert list(g) == []
+        g.inc("hits")                    # recreated from scratch at zero
+        assert g["hits"] == 1
+
     def test_merge(self):
         a, b = StatGroup("a"), StatGroup("b")
         a.inc("x", 1)
@@ -54,6 +63,28 @@ class TestStatGroup:
         a.merge(b)
         assert a["x"] == 3
         assert a["y"] == 3
+
+    def test_merge_accumulates_and_leaves_source_untouched(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        b.inc("x", 2.5)
+        a.merge(b)
+        a.merge(b)                       # merging twice doubles, not replaces
+        assert a["x"] == 5.0
+        assert b.as_dict() == {"x": 2.5}
+
+    def test_merge_empty_group_is_identity(self):
+        a = StatGroup("a")
+        a.inc("x", 7)
+        a.merge(StatGroup("b"))
+        assert a.as_dict() == {"x": 7}
+
+    def test_merge_after_reset_starts_from_zero(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        a.inc("x", 100)
+        b.inc("x", 3)
+        a.reset()
+        a.merge(b)
+        assert a["x"] == 3
 
     def test_as_dict_sorted(self):
         g = StatGroup("g")
@@ -89,6 +120,24 @@ class TestStatRegistry:
         reg = StatRegistry()
         g = reg.group("x")
         assert reg.register(g) is g
+
+    def test_duplicate_register_keeps_the_original_group(self):
+        reg = StatRegistry()
+        original = reg.group("x")
+        original.inc("n", 5)
+        with pytest.raises(ValueError):
+            reg.register(StatGroup("x"))
+        assert reg["x"] is original      # failed register must not clobber
+        assert reg["x"]["n"] == 5
+
+    def test_registry_reset_forgets_keys_but_keeps_groups(self):
+        reg = StatRegistry()
+        g = reg.group("a")
+        g.inc("n", 5)
+        reg.reset()
+        assert "a" in reg                # group survives
+        assert reg["a"] is g
+        assert "n" not in g              # its counters do not
 
     def test_contains_and_groups(self):
         reg = StatRegistry()

@@ -1,0 +1,115 @@
+"""Unit tests for the host-side self-time profiler."""
+
+import time
+
+import pytest
+
+from repro.obs.profiler import SelfTimeProfiler
+
+
+class Inner:
+    def work(self):
+        time.sleep(0.02)
+        return "inner"
+
+
+class Outer:
+    def __init__(self, inner):
+        self.inner = inner
+
+    def work(self):
+        time.sleep(0.01)
+        return self.inner.work()
+
+
+class TestWrapping:
+    def test_wrapped_method_still_returns_its_value(self):
+        profiler = SelfTimeProfiler()
+        inner = Inner()
+        profiler.wrap(inner, "work", "inner")
+        assert inner.work() == "inner"
+        profiler.uninstall()
+
+    def test_calls_and_time_are_counted(self):
+        profiler = SelfTimeProfiler()
+        inner = Inner()
+        profiler.wrap(inner, "work", "inner")
+        inner.work()
+        inner.work()
+        profiler.uninstall()
+        (row,) = profiler.rows()
+        assert row["component"] == "inner"
+        assert row["calls"] == 2
+        assert row["total_s"] >= 0.04
+        assert row["self_s"] == pytest.approx(row["total_s"])
+
+    def test_self_time_excludes_wrapped_children(self):
+        profiler = SelfTimeProfiler()
+        inner = Inner()
+        outer = Outer(inner)
+        profiler.wrap(outer, "work", "outer")
+        profiler.wrap(inner, "work", "inner")
+        outer.work()
+        profiler.uninstall()
+        rows = {r["component"]: r for r in profiler.rows()}
+        assert rows["outer"]["total_s"] >= 0.03
+        assert rows["outer"]["self_s"] < rows["outer"]["total_s"] - 0.015
+        assert rows["inner"]["self_s"] >= 0.015
+
+    def test_self_pct_sums_to_100(self):
+        profiler = SelfTimeProfiler()
+        inner = Inner()
+        outer = Outer(inner)
+        profiler.wrap(outer, "work", "outer")
+        profiler.wrap(inner, "work", "inner")
+        outer.work()
+        profiler.uninstall()
+        assert sum(r["self_pct"] for r in profiler.rows()) == pytest.approx(100.0)
+
+    def test_rows_sorted_by_self_time_descending(self):
+        profiler = SelfTimeProfiler()
+        inner = Inner()
+        outer = Outer(inner)
+        profiler.wrap(outer, "work", "outer")
+        profiler.wrap(inner, "work", "inner")
+        outer.work()
+        profiler.uninstall()
+        self_times = [r["self_s"] for r in profiler.rows()]
+        assert self_times == sorted(self_times, reverse=True)
+
+    def test_uninstall_restores_the_class_method(self):
+        profiler = SelfTimeProfiler()
+        inner = Inner()
+        profiler.wrap(inner, "work", "inner")
+        assert "work" in inner.__dict__      # instance shadow in place
+        inner.work()
+        profiler.uninstall()
+        assert "work" not in inner.__dict__  # back to the class method
+        assert inner.work() == "inner"       # not recorded any more
+        (row,) = profiler.rows()
+        assert row["calls"] == 1
+
+
+class TestMachineInstall:
+    def test_install_and_uninstall_on_a_machine(self):
+        from repro.common.config import SystemConfig
+        from repro.core.system import Machine
+        from repro.workloads.suite import get_profile
+
+        profile = get_profile("gups")
+        workload = profile.build(num_cores=1, refs_per_core=200,
+                                 seed=3, scale=0.02)
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom",
+                          thp_large_fraction=profile.thp_large_fraction,
+                          seed=3)
+        profiler = SelfTimeProfiler()
+        profiler.install(machine)
+        result = machine.run(workload.streams)
+        profiler.uninstall()
+        rows = {r["component"]: r for r in profiler.rows()}
+        assert rows["mmu.translate"]["calls"] == result.references
+        assert "cache.data_access" in rows
+        assert "vmm.touch" in rows
+        # wrappers are gone: instance dicts hold no shadows
+        assert "translate" not in machine.scheme.__dict__
+        assert "walk" not in machine.walkers.__dict__

@@ -1,0 +1,98 @@
+"""Unit tests for the JSONL and Chrome trace-event sinks."""
+
+import json
+
+from repro.obs import events
+from repro.obs.replay import load_chrome, load_jsonl
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, ListSink
+from repro.obs.tracer import EventTracer
+
+
+def _emit_run(tracer, benchmark="x"):
+    tracer.begin(core=0, vm=0, asid=1, vaddr=4096, scheme="pom")
+    tracer.emit(events.TLB_PROBE, cycles=1, level="l1", hit=False)
+    tracer.marker("stats_reset")
+    tracer.end(cycles=12, l2_miss=True, penalty=11)
+
+
+class TestJsonlSink:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        reference = ListSink()
+        sink = JsonlSink(path)
+        tracer = EventTracer([sink, reference],
+                             meta={"benchmark": "x", "scheme": "pom"})
+        _emit_run(tracer)
+        sink.close()
+        assert load_jsonl(path) == reference.events
+
+    def test_one_compact_object_per_line(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path)
+        tracer = EventTracer([sink])
+        _emit_run(tracer)
+        sink.close()
+        lines = open(path).read().splitlines()
+        assert len(lines) == 3     # probe + marker + translation summary
+        for line in lines:
+            json.loads(line)
+            assert " " not in line  # compact separators
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+
+
+class TestChromeTraceSink:
+    def _trace(self, tmp_path, runs=1):
+        path = str(tmp_path / "t.json")
+        sink = ChromeTraceSink(path)
+        for i in range(runs):
+            tracer = EventTracer([sink], meta={"benchmark": f"b{i}",
+                                               "scheme": "pom"})
+            _emit_run(tracer)
+        sink.close()
+        return path
+
+    def test_document_is_valid_trace_event_json(self, tmp_path):
+        path = self._trace(tmp_path)
+        document = json.load(open(path))
+        assert isinstance(document["traceEvents"], list)
+        for record in document["traceEvents"]:
+            assert "ph" in record and "pid" in record
+            if record["ph"] == "X":
+                assert record["dur"] >= 1
+                assert isinstance(record["args"], dict)
+
+    def test_run_meta_becomes_process_per_run(self, tmp_path):
+        records = load_chrome(self._trace(tmp_path, runs=2))
+        names = [r for r in records if r.get("name") == "process_name"]
+        assert len(names) == 2
+        assert {r["pid"] for r in names} == {1, 2}
+        # every slice belongs to one of the two processes
+        assert {r["pid"] for r in records} <= {1, 2}
+
+    def test_marker_is_an_instant_event(self, tmp_path):
+        records = load_chrome(self._trace(tmp_path))
+        markers = [r for r in records if r["name"] == events.MARKER]
+        assert markers and all(r["ph"] == "i" for r in markers)
+        assert all("dur" not in r for r in markers)
+
+    def test_bookkeeping_fields_kept_out_of_args(self, tmp_path):
+        records = load_chrome(self._trace(tmp_path))
+        probe = next(r for r in records if r["name"] == events.TLB_PROBE)
+        assert "vaddr" not in probe["args"]
+        assert probe["args"]["level"] == "l1"
+        assert probe["tid"] == 0
+
+
+class TestSharedSink:
+    def test_two_tracers_interleave_into_one_sink(self):
+        sink = ListSink()
+        a = EventTracer([sink], meta={"benchmark": "a", "scheme": "pom"})
+        b = EventTracer([sink], meta={"benchmark": "b", "scheme": "tsb"})
+        _emit_run(a)
+        _emit_run(b)
+        metas = [e for e in sink.events if e["type"] == events.RUN_META]
+        assert [m["benchmark"] for m in metas] == ["a", "b"]
