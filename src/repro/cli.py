@@ -16,15 +16,23 @@ from __future__ import annotations
 import argparse
 import io
 import json
-import os
 import sys
 from typing import List, Optional
 
+from .common.errors import ConfigError
+from .common.fileio import atomic_write_text
 from .experiments import (ablations, campaign, consolidation, contention,
                           details, figures, profiling, tables, tradeoff)
 from .experiments.runner import ExperimentParams, SuiteRunner
+from .faults import NO_FAULTS, FaultPlan
 from .obs import ChromeTraceSink, EventTracer, JsonlSink, Observability
 from .workloads.suite import BENCHMARKS
+
+#: Exit codes: 0 ok, 1 campaign degraded (failed runs in the report),
+#: 2 usage/configuration error, 130 interrupted (128 + SIGINT).
+EXIT_DEGRADED = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 130
 
 #: Experiments addressable from the command line.  Static entries take
 #: no simulation; dynamic ones run the suite through a SuiteRunner.
@@ -99,6 +107,33 @@ def _build_parser() -> argparse.ArgumentParser:
                              "simulated run")
     parser.add_argument("--window", type=int, default=1000, metavar="K",
                         help="references per metrics window (default 1000)")
+    resilience = parser.add_argument_group(
+        "resilience (campaign)",
+        "isolated workers, retry with backoff, checkpoint-resume")
+    resilience.add_argument("--workers", type=int, default=None, metavar="N",
+                            help="run campaign simulations in N worker "
+                                 "processes (default: serial or "
+                                 "$POMTLB_WORKERS); a crashed or hung "
+                                 "worker kills only its own run")
+    resilience.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-run wall-clock budget; enforced with "
+                                 "--workers >= 2 (default: unlimited)")
+    resilience.add_argument("--max-retries", type=int, default=None,
+                            metavar="N",
+                            help="retries per run after transient failures "
+                                 "(timeout/crash; default 2)")
+    resilience.add_argument("--retry-backoff", type=float, default=None,
+                            metavar="SECONDS",
+                            help="base exponential-backoff delay between "
+                                 "attempts (default 0.25)")
+    resilience.add_argument("--checkpoint", default="", metavar="PATH",
+                            help="persist finished campaign runs to this "
+                                 "JSONL store as they complete")
+    resilience.add_argument("--resume", action="store_true",
+                            help="skip runs already present in --checkpoint")
+    resilience.add_argument("--inject-faults", default="",
+                            metavar="SPEC", help=argparse.SUPPRESS)
     return parser
 
 
@@ -112,6 +147,14 @@ def _params_from_args(args: argparse.Namespace) -> ExperimentParams:
         overrides["scale"] = args.scale
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.timeout is not None:
+        overrides["run_timeout_s"] = args.timeout
+    if args.max_retries is not None:
+        overrides["max_retries"] = args.max_retries
+    if args.retry_backoff is not None:
+        overrides["retry_backoff_s"] = args.retry_backoff
     return ExperimentParams.from_env(**overrides)
 
 
@@ -163,19 +206,9 @@ class _ObsSession:
                                      indent=2) + "\n")
 
 
-def _atomic_write(path: str, text: str) -> None:
-    """Write ``text`` to ``path`` via a temp file + rename, never partially."""
-    tmp = path + ".tmp"
-    try:
-        with open(tmp, "w") as handle:
-            handle.write(text)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+#: Back-compat alias; the shared helper lives in :mod:`repro.common.fileio`
+#: so the checkpoint store and trace sinks use the same idiom.
+_atomic_write = atomic_write_text
 
 
 def _render(args: argparse.Namespace, report) -> str:
@@ -212,27 +245,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--trace-sample must be >= 1", file=sys.stderr)
         return 2
 
+    if args.experiment != "campaign":
+        for flag, name in ((args.checkpoint, "--checkpoint"),
+                           (args.resume, "--resume"),
+                           (args.inject_faults, "--inject-faults")):
+            if flag:
+                print(f"{name} only applies to 'pomtlb campaign'",
+                      file=sys.stderr)
+                return 2
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+
+    faults = NO_FAULTS
+    if args.inject_faults:
+        try:
+            faults = FaultPlan.parse(args.inject_faults)
+        except ConfigError as exc:
+            print(f"bad --inject-faults spec: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        params = _params_from_args(args)
+    except ConfigError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+
     try:
         obs = _ObsSession(args)
     except OSError as exc:
         print(f"cannot open --trace-out file: {exc}", file=sys.stderr)
         return 2
     obs_factory = obs.factory if obs.enabled else None
+    if (obs.enabled and args.experiment == "campaign" and params.workers > 1):
+        print("note: per-translation tracing/metrics run in-process; "
+              "with --workers > 1 only campaign-level run events are "
+              "traced", file=sys.stderr)
+    degraded = False
     try:
         if args.experiment == "campaign":
             if args.json:
-                reports = campaign.run_all(_params_from_args(args), benchmarks,
-                                           out=io.StringIO(),
-                                           obs_factory=obs_factory)
+                result = campaign.run_all(params, benchmarks,
+                                          out=io.StringIO(),
+                                          obs_factory=obs_factory,
+                                          checkpoint_path=args.checkpoint,
+                                          resume=args.resume, faults=faults)
                 text = json.dumps(
-                    [json.loads(report.to_json()) for report in reports],
+                    [json.loads(report.to_json()) for report in result],
                     indent=2) + "\n"
             else:
                 buffer = io.StringIO()
-                campaign.run_all(_params_from_args(args), benchmarks,
-                                 out=buffer if args.output else sys.stdout,
-                                 obs_factory=obs_factory)
+                result = campaign.run_all(
+                    params, benchmarks,
+                    out=buffer if args.output else sys.stdout,
+                    obs_factory=obs_factory,
+                    checkpoint_path=args.checkpoint,
+                    resume=args.resume, faults=faults)
                 text = buffer.getvalue()
+            if result.failures:
+                degraded = True
+                print(f"campaign degraded: {len(result.failures)} run(s) "
+                      f"failed; see the 'Campaign failures' table",
+                      file=sys.stderr)
         else:
             if args.experiment in _STATIC:
                 report = _STATIC[args.experiment]()
@@ -241,8 +315,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print("details needs exactly one --benchmarks entry",
                           file=sys.stderr)
                     return 2
-                runner = SuiteRunner(_params_from_args(args),
-                                     obs_factory=obs_factory)
+                runner = SuiteRunner(params, obs_factory=obs_factory)
                 report = details.benchmark_details(runner, benchmarks[0])
             elif args.experiment == "profile":
                 if len(benchmarks) != 1:
@@ -250,17 +323,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                           file=sys.stderr)
                     return 2
                 report = profiling.profile_benchmark(
-                    _params_from_args(args), benchmarks[0],
-                    scheme=args.scheme)
+                    params, benchmarks[0], scheme=args.scheme)
             elif args.experiment == "consolidation":
                 report = consolidation.consolidation_study(
-                    _params_from_args(args),
-                    benchmarks or consolidation.DEFAULT_MIX)
+                    params, benchmarks or consolidation.DEFAULT_MIX)
             else:
-                runner = SuiteRunner(_params_from_args(args),
-                                     obs_factory=obs_factory)
+                runner = SuiteRunner(params, obs_factory=obs_factory)
                 report = _DYNAMIC[args.experiment](runner, benchmarks)
             text = _render(args, report)
+    except KeyboardInterrupt:
+        print("interrupted"
+              + (f"; finished runs are checkpointed in {args.checkpoint}"
+                 if args.experiment == "campaign" and args.checkpoint
+                 else ""),
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ConfigError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     finally:
         obs.close()
 
@@ -272,7 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
     else:
         sys.stdout.write(text)
-    return 0
+    return EXIT_DEGRADED if degraded else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

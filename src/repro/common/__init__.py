@@ -15,30 +15,51 @@ from .config import (
     ddr4_timing,
     stacked_dram_timing,
 )
-from .errors import AddressError, ConfigError, ReproError, TraceFormatError, TranslationFault
+from .errors import (
+    AddressError,
+    CheckpointError,
+    ConfigError,
+    FaultInjected,
+    ReproError,
+    RunFailed,
+    RunTimeout,
+    TraceFormatError,
+    TransientError,
+    TranslationFault,
+    WorkerCrash,
+)
+from .fileio import AtomicFile, atomic_write_text
 from .rng import ZipfSampler, make_rng, shuffled_ranks, weighted_choice
 from .stats import StatGroup, StatRegistry
 
 __all__ = [
     "addr",
     "AddressError",
+    "AtomicFile",
     "CacheConfig",
+    "CheckpointError",
     "ConfigError",
     "DramTimingConfig",
+    "FaultInjected",
     "MmuConfig",
     "PomTlbConfig",
     "PredictorConfig",
     "ReproError",
+    "RunFailed",
+    "RunTimeout",
     "SharedL2Config",
     "StatGroup",
     "StatRegistry",
     "SystemConfig",
     "TlbConfig",
     "TraceFormatError",
+    "TransientError",
     "TranslationFault",
     "TsbConfig",
     "WalkCacheConfig",
+    "WorkerCrash",
     "ZipfSampler",
+    "atomic_write_text",
     "ddr4_timing",
     "make_rng",
     "shuffled_ranks",

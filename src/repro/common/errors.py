@@ -35,4 +35,82 @@ class TranslationFault(ReproError):
 
 
 class TraceFormatError(ReproError):
-    """A serialized memory trace could not be parsed."""
+    """A serialized memory trace could not be parsed or failed validation.
+
+    ``path``, ``lineno`` and ``text`` pinpoint the offending record when
+    known, so a multi-gigabyte trace failure is diagnosable without
+    re-reading the file.
+    """
+
+    def __init__(self, message: str, path: str = "", lineno: int = 0,
+                 text: str = "") -> None:
+        location = ""
+        if path:
+            location = f"{path}:{lineno}: " if lineno else f"{path}: "
+        detail = f" (record: {text!r})" if text else ""
+        super().__init__(f"{location}{message}{detail}")
+        self.path = path
+        self.lineno = lineno
+        self.text = text
+
+
+class TransientError(ReproError):
+    """A failure that may succeed on retry (timeouts, crashed workers).
+
+    The campaign executor retries runs that die with a ``TransientError``
+    subclass; every other :class:`ReproError` is treated as permanent and
+    fails the run immediately.
+    """
+
+
+class RunTimeout(TransientError):
+    """A simulation run exceeded its per-run wall-clock budget."""
+
+    def __init__(self, benchmark: str, scheme: str, timeout_s: float) -> None:
+        super().__init__(f"run ({benchmark}, {scheme}) exceeded "
+                         f"{timeout_s:g}s timeout")
+        self.benchmark = benchmark
+        self.scheme = scheme
+        self.timeout_s = timeout_s
+
+
+class WorkerCrash(TransientError):
+    """A worker process died without reporting a result."""
+
+    def __init__(self, benchmark: str, scheme: str, exitcode: int) -> None:
+        super().__init__(f"worker for ({benchmark}, {scheme}) died with "
+                         f"exit code {exitcode}")
+        self.benchmark = benchmark
+        self.scheme = scheme
+        self.exitcode = exitcode
+
+
+class FaultInjected(TransientError):
+    """Raised by the fault-injection harness (:mod:`repro.faults`).
+
+    Transient by design so injected faults exercise the retry machinery;
+    a fault that should be permanent corrupts state (e.g. a trace record)
+    instead of raising this.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint store could not be read or written."""
+
+
+class RunFailed(ReproError):
+    """A campaign run exhausted its attempts and has no result.
+
+    Raised when a figure driver asks the runner for a (benchmark,
+    scheme) pair the resilient executor recorded as failed; figure
+    rendering catches it and annotates the missing cell.
+    """
+
+    def __init__(self, benchmark: str, scheme: str, attempts: int,
+                 cause: str) -> None:
+        super().__init__(f"run ({benchmark}, {scheme}) failed after "
+                         f"{attempts} attempt(s): {cause}")
+        self.benchmark = benchmark
+        self.scheme = scheme
+        self.attempts = attempts
+        self.cause = cause

@@ -1,0 +1,62 @@
+"""Crash-safe file writing shared by reports, metrics, traces and checkpoints.
+
+Everything the toolchain persists goes through the same temp-file +
+``os.replace`` idiom so a reader never observes a half-written file: the
+CLI ``--output`` report, ``--metrics-out`` documents, trace sinks and the
+campaign checkpoint store all commit atomically or not at all.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a temp file + rename, never partially."""
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class AtomicFile:
+    """An incrementally written file that becomes visible only on commit.
+
+    Opens ``path + ".tmp"`` for writing; :meth:`commit` renames it into
+    place, :meth:`abort` discards it.  Used by streaming writers (trace
+    sinks) that cannot buffer everything for :func:`atomic_write_text`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._tmp = path + ".tmp"
+        self.file: IO = open(self._tmp, "w")
+        self._done = False
+
+    def commit(self) -> None:
+        """Close the temp file and rename it onto ``path``."""
+        if self._done:
+            return
+        self._done = True
+        self.file.close()
+        os.replace(self._tmp, self.path)
+
+    def abort(self) -> None:
+        """Close and delete the temp file; ``path`` is left untouched."""
+        if self._done:
+            return
+        self._done = True
+        self.file.close()
+        try:
+            os.unlink(self._tmp)
+        except OSError:
+            pass

@@ -114,6 +114,17 @@ class StatRegistry:
         """``{group: {counter: value}}`` snapshot, sorted at both levels."""
         return {name: g.as_dict() for name, g in sorted(self._groups.items())}
 
+    @classmethod
+    def from_nested_dict(cls, data: Mapping[str, Mapping[str, float]]
+                         ) -> "StatRegistry":
+        """Inverse of :meth:`as_nested_dict` (checkpoint restore)."""
+        registry = cls()
+        for name, counters in data.items():
+            group = registry.group(name)
+            for key, value in counters.items():
+                group.set(key, value)
+        return registry
+
     def render(self) -> str:
         """Plain-text report of every counter, one line each."""
         lines = []

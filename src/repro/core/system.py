@@ -24,6 +24,7 @@ from ..cache.hierarchy import CacheHierarchy
 from ..common import addr
 from ..common.config import SystemConfig
 from ..common.stats import StatRegistry
+from ..faults import NO_TRANSLATION_FAULTS
 from ..obs import Observability
 from ..obs.histogram import LogHistogram
 from ..obs.windows import WindowedMetrics
@@ -148,6 +149,7 @@ class Machine:
                  host_memory_bytes: int = 64 * addr.GiB,
                  thp_fractions: Optional[Dict[int, float]] = None,
                  obs: Optional[Observability] = None,
+                 faults=None,
                  **scheme_kwargs) -> None:
         self.config = config
         self.seed = seed
@@ -167,6 +169,9 @@ class Machine:
             **scheme_kwargs)
         self.obs = obs if obs is not None else Observability()
         self.obs.attach(self)
+        #: Fault-injection hook (:mod:`repro.faults`); the null object's
+        #: ``active`` is False, so the hot path pays one attribute check.
+        self.faults = faults if faults is not None else NO_TRANSLATION_FAULTS
 
     # -- software contexts ----------------------------------------------------
 
@@ -220,6 +225,7 @@ class Machine:
                     f"stream core {stream.core} >= {self.config.num_cores} cores")
         mmu_stats = self.stats.group("mmu")
         obs = self.obs
+        faults = self.faults
         tracer = obs.tracer
         histograms = obs.histograms
         translation_hist = penalty_hist = None
@@ -256,6 +262,8 @@ class Machine:
                     warmup_remaining[key] -= 1
                     if warmup_remaining[key] <= 0:
                         del warmup_remaining[key]
+            if faults.active:
+                faults.on_translation()
             page = self.touch(stream.vm_id, stream.asid, ref.vaddr)
             result = self.scheme.translate(
                 stream.core, stream.vm_id, stream.asid, ref.vaddr, page)

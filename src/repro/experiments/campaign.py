@@ -1,18 +1,30 @@
 """Full evaluation campaign: regenerate every table and figure in one go.
 
 ``run_all`` executes the complete paper evaluation — Tables 1-2 and
-Figures 1-4 and 8-12 plus the Section 4.6 sensitivity studies — sharing
-one memoised :class:`SuiteRunner` so each (benchmark, scheme, params)
-simulation happens exactly once.  The rendered text is what
-EXPERIMENTS.md quotes.
+Figures 1-4 and 8-12 plus the Section 4.6 sensitivity studies.  The
+campaign is *resilient* (:mod:`repro.resilience`): the full set of
+(benchmark, scheme, params) simulations is enumerated up front
+(:func:`campaign_requests`), executed serially or in a process pool
+with per-run timeouts and retry-with-backoff, and optionally persisted
+to a checkpoint store so an interrupted campaign resumes without
+re-simulating finished work.  Runs that exhaust their retries are
+recorded as structured failures: the figures annotate the missing cells,
+a failure summary table closes the report, and the CLI exits non-zero.
+
+The rendered text is what EXPERIMENTS.md quotes.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 import time
 from typing import Iterable, List, Optional, TextIO
 
+from ..common import addr
+from ..faults import NO_FAULTS, FaultPlan
+from ..obs import NULL_TRACER
+from ..resilience import CheckpointStore, RetryPolicy, RunRequest, execute_runs
 from ..workloads.suite import BENCHMARKS
 from . import figures, tables
 from .report import Report
@@ -24,19 +36,149 @@ SENSITIVITY_BENCHMARKS = ("astar", "gups", "mcf", "lbm",
                           "ccomponent", "streamcluster")
 
 
+class CampaignResult(List[Report]):
+    """The campaign's reports, plus its resilience bookkeeping.
+
+    A list subclass so existing callers that iterate reports keep
+    working; the extra attributes say how the campaign went:
+
+    * ``failures`` — runs that exhausted their attempts (empty = clean);
+    * ``simulated`` — fresh simulations actually executed;
+    * ``restored`` — runs satisfied from the checkpoint store.
+    """
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.failures: List[object] = []
+        self.simulated = 0
+        self.restored = 0
+
+
+def campaign_requests(params: ExperimentParams,
+                      benchmarks: Iterable[str] = (),
+                      include_sensitivity: bool = True) -> List[RunRequest]:
+    """Every simulation the campaign's figures will ask for.
+
+    Kept in lockstep with the ``run_all`` emission list: a test asserts
+    that rendering the campaign from these runs triggers zero additional
+    simulations, which is what makes checkpoint-resume exact.
+    """
+    names = list(benchmarks) or list(BENCHMARKS)
+    requests: List[RunRequest] = []
+
+    def need(benchmark: str, scheme: str,
+             run_params: ExperimentParams) -> None:
+        requests.append(RunRequest(benchmark, scheme, run_params))
+
+    for name in names:                       # fig8 + fig9/10/11 (pom)
+        for scheme in figures.FIG8_SCHEMES:
+            need(name, scheme, params)
+    native = dataclasses.replace(params, virtualized=False)
+    for name in names:                       # fig2 (+ fig3 virtualized half)
+        need(name, "baseline", params)
+        need(name, "baseline", native)       # fig3 native half
+    uncached = dataclasses.replace(params, cache_tlb_entries=False)
+    for name in names:                       # fig12 ablation
+        need(name, "pom", uncached)
+    if include_sensitivity:
+        sens = [b for b in SENSITIVITY_BENCHMARKS if b in names]
+        for capacity in (8, 16, 32):         # Section 4.6 capacity sweep
+            capacity_params = dataclasses.replace(
+                params, pom_size_bytes=capacity * addr.MiB)
+            for name in sens:
+                need(name, "pom", capacity_params)
+        for cores in (4, 8):                 # Section 4.6 core sweep
+            core_params = dataclasses.replace(params, num_cores=cores)
+            for name in sens:
+                need(name, "pom", core_params)
+    return requests
+
+
 def run_all(params: Optional[ExperimentParams] = None,
             benchmarks: Iterable[str] = (),
             out: TextIO = sys.stdout,
             include_sensitivity: bool = True,
-            obs_factory: Optional[ObsFactory] = None) -> List[Report]:
-    """Run the whole campaign, streaming rendered reports to ``out``."""
+            obs_factory: Optional[ObsFactory] = None,
+            checkpoint_path: str = "",
+            resume: bool = False,
+            faults: FaultPlan = NO_FAULTS,
+            progress: Optional[TextIO] = None) -> CampaignResult:
+    """Run the whole campaign, streaming rendered reports to ``out``.
+
+    ``KeyboardInterrupt`` propagates to the caller after worker teardown;
+    with a checkpoint configured, everything finished so far is already
+    on disk, so the same command with ``resume=True`` picks up where the
+    interruption hit.  Per-run progress goes to ``progress`` (default
+    stderr); the report stream on ``out`` stays byte-deterministic.
+    """
     params = params or ExperimentParams.from_env()
-    runner = SuiteRunner(params, obs_factory=obs_factory)
+    progress = progress if progress is not None else sys.stderr
+    parallel = params.workers > 1
+    runner = SuiteRunner(params,
+                         obs_factory=None if parallel else obs_factory)
     names = list(benchmarks) or list(BENCHMARKS)
-    reports: List[Report] = []
+    requests = campaign_requests(params, names, include_sensitivity)
+
+    checkpoint = None
+    if checkpoint_path:
+        checkpoint = CheckpointStore(checkpoint_path, faults=faults,
+                                     load=resume)
+        if resume and checkpoint.skipped_lines:
+            progress.write(f"# checkpoint: skipped "
+                           f"{checkpoint.skipped_lines} damaged line(s)\n")
+
+    control_obs = obs_factory("campaign", "control") if obs_factory else None
+    tracer = control_obs.tracer if control_obs is not None else NULL_TRACER
+
+    retry = RetryPolicy(max_retries=params.max_retries,
+                        base_delay_s=params.retry_backoff_s,
+                        seed=params.seed)
+    total = len(requests)
+    done = {"count": 0}
+
+    def on_outcome(outcome) -> None:
+        done["count"] += 1
+        state = ("restored" if outcome.restored
+                 else "ok" if outcome.ok
+                 else f"FAILED ({outcome.failure.error.type})")
+        progress.write(f"# [{done['count']}/{total}] "
+                       f"{outcome.request.label} {state}\n")
+
+    simulate = None
+    if not parallel:
+        def simulate(request, fault):  # in-process: keep obs support
+            from .runner import simulate_run
+            obs = (runner.obs_factory(request.benchmark, request.scheme)
+                   if runner.obs_factory else None)
+            return simulate_run(request.benchmark, request.scheme,
+                                request.params, fault=fault, obs=obs)
+
+    outcomes = execute_runs(requests,
+                            workers=params.workers,
+                            timeout_s=params.run_timeout_s,
+                            retry=retry,
+                            faults=faults,
+                            checkpoint=checkpoint,
+                            tracer=tracer,
+                            on_outcome=on_outcome,
+                            simulate=simulate)
+
+    result = CampaignResult()
+    for outcome in outcomes:
+        if outcome.ok:
+            runner.install(outcome.run, outcome.request.params)
+            if outcome.restored:
+                result.restored += 1
+            else:
+                result.simulated += 1
+        else:
+            runner.record_failure(outcome.request.benchmark,
+                                  outcome.request.scheme,
+                                  outcome.failure, outcome.request.params)
+            result.failures.append(outcome.failure)
 
     def emit(report: Report) -> None:
-        reports.append(report)
+        result.append(report)
         out.write(report.render())
         out.write("\n\n")
         out.flush()
@@ -59,6 +201,23 @@ def run_all(params: Optional[ExperimentParams] = None,
         sens = [b for b in SENSITIVITY_BENCHMARKS if b in names]
         emit(figures.sensitivity_capacity(runner, sens))
         emit(figures.sensitivity_cores(runner, sens))
-    out.write(f"# campaign finished in {time.time() - started:.0f}s\n")
+    if result.failures:
+        emit(_failure_summary(result.failures))
+    # Wall-clock timing goes to the progress stream, not the report: the
+    # report must be byte-identical run to run for a fixed seed.
+    progress.write(f"# campaign finished in {time.time() - started:.0f}s\n")
     out.flush()
-    return reports
+    result.simulated += runner.simulations
+    return result
+
+
+def _failure_summary(failures) -> Report:
+    """The closing table a degraded campaign renders (and CLI exit 1)."""
+    report = Report(title="Campaign failures",
+                    headers=("benchmark", "scheme", "attempts", "error"))
+    for failure in failures:
+        report.add_row(failure.benchmark, failure.scheme, failure.attempts,
+                       f"{failure.error.type}: {failure.error.message}")
+    report.add_note("cells for these runs are rendered as n/a; rerun with "
+                    "--checkpoint/--resume to retry only the failed runs")
+    return report

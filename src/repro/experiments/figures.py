@@ -14,6 +14,7 @@ from typing import Iterable, List, Optional
 
 from ..common import addr
 from ..common.config import SystemConfig
+from ..common.errors import ReproError
 from ..core.perfmodel import geometric_mean
 from ..core.system import Machine
 from ..paging.nested import MAX_NESTED_REFS
@@ -25,6 +26,27 @@ from .runner import ExperimentParams, SuiteRunner
 
 def _benchmarks(subset: Iterable[str]) -> List[str]:
     return list(subset) or list(BENCHMARKS)
+
+
+def _try_run(runner: SuiteRunner, name: str, scheme: str,
+             params: Optional[ExperimentParams] = None):
+    """One run, or None when it failed — figures degrade gracefully.
+
+    A failed run (recorded by the resilient campaign executor, or dying
+    right here in serial mode) must cost its own cells, not the figure:
+    callers render None cells as ``n/a``.
+    """
+    try:
+        return runner.run(name, scheme, params)
+    except ReproError:
+        return None
+
+
+def _geomean_cell(speedups: List[float]):
+    """Geomean improvement % over the *available* runs (None when empty)."""
+    if not speedups:
+        return None
+    return (geometric_mean(speedups) - 1.0) * 100.0
 
 
 # -- Figure 1: the 2-D nested walk -----------------------------------------
@@ -54,10 +76,10 @@ def fig2_translation_cycles(runner: SuiteRunner,
               "(virtualized)",
         headers=("benchmark", "paper_measured", "simulated"))
     for name in _benchmarks(benchmarks):
-        run = runner.run(name, "baseline")
+        run = _try_run(runner, name, "baseline")
         profile = get_profile(name)
         report.add_row(name, profile.cycles_per_miss_virtual,
-                       run.result.avg_penalty_per_miss)
+                       run.result.avg_penalty_per_miss if run else None)
     report.add_note("paper column: Skylake perf-counter measurements "
                     "(Table 2); simulated column: this repo's nested-walk "
                     "model on synthetic traces")
@@ -72,11 +94,14 @@ def fig3_virt_native_ratio(runner: SuiteRunner,
         title="Figure 3: Virtualized / native translation cost ratio",
         headers=("benchmark", "paper_ratio", "simulated_ratio"))
     for name in _benchmarks(benchmarks):
-        virt = runner.run(name, "baseline")
-        native = runner.run(name, "baseline", native_params)
+        virt = _try_run(runner, name, "baseline")
+        native = _try_run(runner, name, "baseline", native_params)
         profile = get_profile(name)
         paper_ratio = (profile.cycles_per_miss_virtual
                        / profile.cycles_per_miss_native)
+        if virt is None or native is None:
+            report.add_row(name, paper_ratio, None)
+            continue
         sim_native = native.result.avg_penalty_per_miss
         sim_ratio = (virt.result.avg_penalty_per_miss / sim_native
                      if sim_native else 0.0)
@@ -117,13 +142,14 @@ def fig8_performance(runner: SuiteRunner,
     for name in _benchmarks(benchmarks):
         cells = [name]
         for scheme in schemes:
-            run = runner.run(name, scheme)
-            cells.append(run.improvement_percent)
-            speedups[scheme].append(run.performance.speedup)
+            run = _try_run(runner, name, scheme)
+            cells.append(run.improvement_percent if run else None)
+            if run is not None:
+                speedups[scheme].append(run.performance.speedup)
         report.add_row(*cells)
     geo = ["geomean"]
     for scheme in schemes:
-        geo.append((geometric_mean(speedups[scheme]) - 1.0) * 100.0)
+        geo.append(_geomean_cell(speedups[scheme]))
     report.add_row(*geo)
     return report
 
@@ -138,7 +164,10 @@ def fig9_hit_ratio(runner: SuiteRunner,
         headers=("benchmark", "l2d_hit", "l3d_hit", "pom_hit",
                  "walk_eliminated"))
     for name in _benchmarks(benchmarks):
-        run = runner.run(name, "pom")
+        run = _try_run(runner, name, "pom")
+        if run is None:
+            report.add_row(name, None, None, None, None)
+            continue
         result = run.result
         report.add_row(name,
                        result.tlb_cache_hit_ratio("l2"),
@@ -156,7 +185,11 @@ def fig10_predictors(runner: SuiteRunner,
     report = Report(title="Figure 10: Predictor accuracy",
                     headers=("benchmark", "size_accuracy", "bypass_accuracy"))
     for name in _benchmarks(benchmarks):
-        accuracy = runner.run(name, "pom").result.predictor_accuracy()
+        run = _try_run(runner, name, "pom")
+        if run is None:
+            report.add_row(name, None, None)
+            continue
+        accuracy = run.result.predictor_accuracy()
         report.add_row(name, accuracy["size"], accuracy["bypass"])
     return report
 
@@ -169,7 +202,9 @@ def fig11_row_buffer(runner: SuiteRunner,
     report = Report(title="Figure 11: Row buffer hits in the L3 TLB",
                     headers=("benchmark", "row_buffer_hit_rate"))
     for name in _benchmarks(benchmarks):
-        report.add_row(name, runner.run(name, "pom").result.row_buffer_hit_rate())
+        run = _try_run(runner, name, "pom")
+        report.add_row(name,
+                       run.result.row_buffer_hit_rate() if run else None)
     return report
 
 
@@ -185,15 +220,18 @@ def fig12_caching_ablation(runner: SuiteRunner,
         headers=("benchmark", "with_caching", "without_caching"))
     cached_speedups, uncached_speedups = [], []
     for name in _benchmarks(benchmarks):
-        cached = runner.run(name, "pom")
-        uncached = runner.run(name, "pom", uncached_params)
-        report.add_row(name, cached.improvement_percent,
-                       uncached.improvement_percent)
-        cached_speedups.append(cached.performance.speedup)
-        uncached_speedups.append(uncached.performance.speedup)
+        cached = _try_run(runner, name, "pom")
+        uncached = _try_run(runner, name, "pom", uncached_params)
+        report.add_row(name,
+                       cached.improvement_percent if cached else None,
+                       uncached.improvement_percent if uncached else None)
+        if cached is not None:
+            cached_speedups.append(cached.performance.speedup)
+        if uncached is not None:
+            uncached_speedups.append(uncached.performance.speedup)
     report.add_row("geomean",
-                   (geometric_mean(cached_speedups) - 1) * 100,
-                   (geometric_mean(uncached_speedups) - 1) * 100)
+                   _geomean_cell(cached_speedups),
+                   _geomean_cell(uncached_speedups))
     return report
 
 
@@ -210,10 +248,10 @@ def sensitivity_capacity(runner: SuiteRunner,
     for capacity in capacities_mb:
         params = dataclasses.replace(
             runner.params, pom_size_bytes=capacity * addr.MiB)
-        speedups = [runner.run(name, "pom", params).performance.speedup
-                    for name in names]
-        report.add_row(f"{capacity}MiB",
-                       (geometric_mean(speedups) - 1) * 100)
+        runs = [_try_run(runner, name, "pom", params) for name in names]
+        speedups = [run.performance.speedup for run in runs
+                    if run is not None]
+        report.add_row(f"{capacity}MiB", _geomean_cell(speedups))
     report.add_note("the paper finds <1% difference across 8-32MB")
     return report
 
@@ -228,7 +266,8 @@ def sensitivity_cores(runner: SuiteRunner,
     names = _benchmarks(benchmarks)
     for cores in core_counts:
         params = dataclasses.replace(runner.params, num_cores=cores)
-        speedups = [runner.run(name, "pom", params).performance.speedup
-                    for name in names]
-        report.add_row(cores, (geometric_mean(speedups) - 1) * 100)
+        runs = [_try_run(runner, name, "pom", params) for name in names]
+        speedups = [run.performance.speedup for run in runs
+                    if run is not None]
+        report.add_row(cores, _geomean_cell(speedups))
     return report

@@ -8,12 +8,16 @@ the examples print — the same rows/series the paper's figures plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
-Cell = Union[str, int, float]
+#: ``None`` marks a missing cell — a run the resilient campaign recorded
+#: as failed; it renders as ``n/a`` and serialises as JSON ``null``.
+Cell = Union[str, int, float, None]
 
 
 def _format(cell: Cell) -> str:
+    if cell is None:
+        return "n/a"
     if isinstance(cell, bool):
         return str(cell)
     if isinstance(cell, float):
@@ -74,13 +78,18 @@ class Report:
         are marked with ``-`` glyphs so regressions stand out.
         """
         index = list(self.headers).index(value_header)
-        values = [float(row[index]) for row in self.rows]
-        if not values:
+        values = [None if row[index] is None else float(row[index])
+                  for row in self.rows]
+        present = [v for v in values if v is not None]
+        if not present:
             return self.title
-        peak = max(abs(v) for v in values) or 1.0
+        peak = max(abs(v) for v in present) or 1.0
         label_width = max(len(str(row[0])) for row in self.rows)
         lines = [self.title, "=" * len(self.title)]
         for row, value in zip(self.rows, values):
+            if value is None:
+                lines.append(f"{str(row[0]).ljust(label_width)}       n/a")
+                continue
             length = round(abs(value) / peak * width)
             glyph = "#" if value >= 0 else "-"
             lines.append(f"{str(row[0]).ljust(label_width)}  "

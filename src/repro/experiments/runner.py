@@ -8,20 +8,29 @@ when one harness regenerates several figures from the same runs.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..common import addr
 from ..common.config import PomTlbConfig, PredictorConfig, SystemConfig
+from ..common.errors import ConfigError, RunFailed
 from ..core.perfmodel import PerformanceEstimate, estimate
 from ..core.system import Machine, SimulationResult
+from ..faults import RaiseAtTranslation, corrupt_streams
 from ..obs import Observability
 from ..workloads.suite import BENCHMARKS, get_profile
+from ..workloads.trace import validate_stream
 
 #: Builds the per-run Observability for (benchmark, scheme); None means
 #: the Machine default (histograms on, tracing off).
 ObsFactory = Callable[[str, str], Optional[Observability]]
+
+#: ExperimentParams fields that steer *execution*, not simulation: they
+#: can never change a result, so the checkpoint key excludes them.
+EXECUTION_FIELDS = ("workers", "run_timeout_s", "max_retries",
+                    "retry_backoff_s")
 
 
 @dataclass(frozen=True)
@@ -49,18 +58,46 @@ class ExperimentParams:
     size_counter_bits: int = 1
     bypass_enabled: bool = True
     tlb_prefetch: bool = False
+    # Execution knobs (resilient campaign engine; never affect results):
+    #: process-pool width for campaign execution; <= 1 runs serially
+    workers: int = 0
+    #: per-run wall-clock budget in seconds (0 = unlimited; enforced
+    #: only under process isolation, i.e. workers >= 2)
+    run_timeout_s: float = 0.0
+    #: additional attempts after a transient failure
+    max_retries: int = 2
+    #: base exponential-backoff delay between attempts, seconds
+    retry_backoff_s: float = 0.25
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentParams":
-        """Build params from the environment, then apply ``overrides``."""
+        """Build params from the environment, then apply ``overrides``.
+
+        A malformed ``POMTLB_*`` value raises
+        :class:`~repro.common.errors.ConfigError` naming the variable
+        and the offending text (the CLI maps that to exit code 2).
+        """
         env = {
-            "num_cores": int(os.environ.get("POMTLB_CORES", 8)),
-            "refs_per_core": int(os.environ.get("POMTLB_REFS", 6000)),
-            "scale": float(os.environ.get("POMTLB_SCALE", 1.0)),
-            "seed": int(os.environ.get("POMTLB_SEED", 42)),
+            "num_cores": _env_value("POMTLB_CORES", 8, int),
+            "refs_per_core": _env_value("POMTLB_REFS", 6000, int),
+            "scale": _env_value("POMTLB_SCALE", 1.0, float),
+            "seed": _env_value("POMTLB_SEED", 42, int),
+            "workers": _env_value("POMTLB_WORKERS", 0, int),
         }
         env.update(overrides)
         return cls(**env)
+
+    def checkpoint_fields(self) -> Dict[str, object]:
+        """Simulation-relevant fields, for the checkpoint content hash.
+
+        Execution knobs (:data:`EXECUTION_FIELDS`) are excluded: running
+        the same campaign with a different worker count or timeout must
+        still hit the checkpoint.
+        """
+        fields = dataclasses.asdict(self)
+        for name in EXECUTION_FIELDS:
+            fields.pop(name)
+        return fields
 
     def system_config(self) -> SystemConfig:
         return SystemConfig(
@@ -75,6 +112,55 @@ class ExperimentParams:
             l4_data_cache_bytes=self.l4_data_cache_bytes,
             tlb_prefetch=self.tlb_prefetch,
         )
+
+
+def _env_value(name: str, default, convert):
+    """Read one ``POMTLB_*`` variable; ConfigError names bad values."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return convert(raw)
+    except ValueError:
+        raise ConfigError(
+            f"environment variable {name}={raw!r} is not a valid "
+            f"{convert.__name__}") from None
+
+
+def simulate_run(benchmark: str, scheme: str, params: ExperimentParams,
+                 fault=None, obs: Optional[Observability] = None
+                 ) -> "BenchmarkRun":
+    """Simulate one (benchmark, scheme) pair from scratch.
+
+    The single simulation entry point shared by the in-process runner
+    and campaign worker processes, so results cannot depend on *where* a
+    run executes.  ``fault`` is a ``(kind, n)`` directive from
+    :class:`~repro.faults.FaultPlan` (``raise`` / ``corrupt-trace``;
+    process-level kinds are handled by the executor).
+    """
+    profile = get_profile(benchmark)
+    workload = profile.build(num_cores=params.num_cores,
+                             refs_per_core=params.refs_per_core,
+                             seed=params.seed, scale=params.scale)
+    if fault is not None and fault[0] == "corrupt-trace":
+        corrupt_streams(workload.streams)
+    for stream in workload.streams:
+        validate_stream(stream)
+    machine_faults = (RaiseAtTranslation(fault[1])
+                      if fault is not None and fault[0] == "raise" else None)
+    machine = Machine(params.system_config(), scheme=scheme,
+                      thp_large_fraction=profile.thp_large_fraction,
+                      seed=params.seed,
+                      tlb_priority=params.tlb_priority,
+                      obs=obs, faults=machine_faults)
+    result = machine.run(
+        workload.streams,
+        warmup_references=workload.warmup_by_core
+        or workload.warmup_references)
+    anchor = profile.anchor(virtualized=params.virtualized)
+    perf = estimate(anchor, result.l2_tlb_misses, result.penalty_cycles)
+    return BenchmarkRun(benchmark=benchmark, scheme=scheme,
+                        result=result, performance=perf)
 
 
 @dataclass
@@ -92,13 +178,24 @@ class BenchmarkRun:
 
 
 class SuiteRunner:
-    """Runs suite benchmarks under schemes, memoising by configuration."""
+    """Runs suite benchmarks under schemes, memoising by configuration.
+
+    The runner also carries the campaign's resilience state: runs the
+    executor restored or computed are installed into the memo cache, and
+    runs it gave up on are recorded in :attr:`failures` so a later
+    ``run()`` raises :class:`~repro.common.errors.RunFailed` instead of
+    silently re-simulating a run the campaign already declared dead.
+    """
 
     def __init__(self, params: Optional[ExperimentParams] = None,
                  obs_factory: Optional[ObsFactory] = None) -> None:
         self.params = params or ExperimentParams()
         self.obs_factory = obs_factory
         self._cache: Dict[Tuple, BenchmarkRun] = {}
+        #: (benchmark, scheme, params) -> RunFailure for exhausted runs
+        self.failures: Dict[Tuple, object] = {}
+        #: fresh simulations performed by this runner (cache misses)
+        self.simulations = 0
 
     def run(self, benchmark: str, scheme: str,
             params: Optional[ExperimentParams] = None) -> BenchmarkRun:
@@ -108,26 +205,30 @@ class SuiteRunner:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        profile = get_profile(benchmark)
-        workload = profile.build(num_cores=params.num_cores,
-                                 refs_per_core=params.refs_per_core,
-                                 seed=params.seed, scale=params.scale)
+        failure = self.failures.get(key)
+        if failure is not None:
+            raise RunFailed(benchmark, scheme, failure.attempts,
+                            f"{failure.error.type}: {failure.error.message}")
         obs = self.obs_factory(benchmark, scheme) if self.obs_factory else None
-        machine = Machine(params.system_config(), scheme=scheme,
-                          thp_large_fraction=profile.thp_large_fraction,
-                          seed=params.seed,
-                          tlb_priority=params.tlb_priority,
-                          obs=obs)
-        result = machine.run(
-            workload.streams,
-            warmup_references=workload.warmup_by_core
-            or workload.warmup_references)
-        anchor = profile.anchor(virtualized=params.virtualized)
-        perf = estimate(anchor, result.l2_tlb_misses, result.penalty_cycles)
-        run = BenchmarkRun(benchmark=benchmark, scheme=scheme,
-                           result=result, performance=perf)
+        run = simulate_run(benchmark, scheme, params, obs=obs)
+        self.simulations += 1
         self._cache[key] = run
         return run
+
+    def install(self, run: BenchmarkRun,
+                params: Optional[ExperimentParams] = None,
+                simulated: bool = False) -> None:
+        """Adopt an externally computed run (worker process / checkpoint)."""
+        params = params or self.params
+        self._cache[(run.benchmark, run.scheme, params)] = run
+        if simulated:
+            self.simulations += 1
+
+    def record_failure(self, benchmark: str, scheme: str, failure,
+                       params: Optional[ExperimentParams] = None) -> None:
+        """Mark a pair as failed; ``run()`` raises RunFailed for it."""
+        params = params or self.params
+        self.failures[(benchmark, scheme, params)] = failure
 
     def run_suite(self, scheme: str, benchmarks: Iterable[str] = (),
                   params: Optional[ExperimentParams] = None

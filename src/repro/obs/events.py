@@ -44,6 +44,13 @@ DRAM_ACCESS = "dram_access"
 WALK = "walk"
 #: One PTE reference inside a walk (dim ``native``/``guest``/``host``).
 WALK_STEP = "walk_step"
+#: A campaign run attempt failed transiently and will be retried
+#: (includes timeouts and worker crashes; ``error`` carries the class).
+RUN_RETRY = "run_retry"
+#: A campaign run exhausted its attempts and was recorded as failed.
+RUN_FAILURE = "run_failure"
+#: A campaign run finished successfully (``restored`` = from checkpoint).
+RUN_COMPLETE = "run_complete"
 
 #: Required type-specific fields per event type (beyond the bookkeeping
 #: fields the tracer adds to every event).
@@ -60,6 +67,9 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     DRAM_ACCESS: ("bank", "row", "outcome", "cycles"),
     WALK: ("core", "cycles", "refs"),
     WALK_STEP: ("dim", "level", "cycles"),
+    RUN_RETRY: ("benchmark", "scheme", "attempt", "error"),
+    RUN_FAILURE: ("benchmark", "scheme", "attempts", "error"),
+    RUN_COMPLETE: ("benchmark", "scheme", "attempts", "restored"),
 }
 
 

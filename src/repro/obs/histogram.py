@@ -131,6 +131,23 @@ class LogHistogram:
             "buckets": self.buckets(),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`as_dict` output (checkpoint restore).
+
+        Derived fields (mean, percentiles) are recomputed from the bucket
+        rows; only the raw state is read back.
+        """
+        histogram = cls(str(data.get("name", "")))
+        histogram.count = int(data["count"])  # type: ignore[arg-type]
+        histogram.total = int(data["total"])  # type: ignore[arg-type]
+        histogram.max = int(data["max"])  # type: ignore[arg-type]
+        histogram.min = int(data["min"]) if histogram.count else None  # type: ignore[arg-type]
+        for lo, _hi, n in data.get("buckets", []):  # type: ignore[union-attr]
+            bucket = int(lo).bit_length()
+            histogram._buckets[bucket] = int(n)
+        return histogram
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"LogHistogram({self.name!r}, n={self.count}, "
                 f"p50={self.p50:.0f}, p99={self.p99:.0f}, max={self.max})")

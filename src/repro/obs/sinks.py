@@ -16,8 +16,9 @@ invocation); writes are appended in arrival order.
 from __future__ import annotations
 
 import json
-from typing import IO, List, Union
+from typing import IO, List, Optional, Union
 
+from ..common.fileio import AtomicFile
 from . import events
 
 _BOOKKEEPING = ("type", "ts", "seq", "cycles", "core", "vm", "asid",
@@ -38,24 +39,36 @@ class ListSink:
 
 
 class _FileSink:
-    """Shared open/close handling for path-or-file-object sinks."""
+    """Shared open/close handling for path-or-file-object sinks.
+
+    Paths are written through :class:`~repro.common.fileio.AtomicFile` —
+    the destination appears only when the sink closes cleanly, so a
+    killed run never leaves a half-written trace where a complete one is
+    expected (the same temp-file + rename idiom as ``--output`` and the
+    campaign checkpoint store).
+    """
 
     def __init__(self, destination: Union[str, IO]) -> None:
         if hasattr(destination, "write"):
             self._file: IO = destination
-            self._owns = False
+            self._atomic: Optional[AtomicFile] = None
         else:
-            self._file = open(destination, "w")
-            self._owns = True
+            self._atomic = AtomicFile(destination)
+            self._file = self._atomic.file
         self._closed = False
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        self._finish()
-        if self._owns:
-            self._file.close()
+        try:
+            self._finish()
+        except BaseException:
+            if self._atomic is not None:
+                self._atomic.abort()
+            raise
+        if self._atomic is not None:
+            self._atomic.commit()
         else:
             self._file.flush()
 

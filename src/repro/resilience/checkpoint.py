@@ -1,0 +1,210 @@
+"""Checkpoint store: finished campaign runs, persisted incrementally.
+
+Every completed (benchmark, scheme, params) simulation is written to a
+JSONL file keyed by a content hash of exactly the inputs that determine
+its result (see :func:`run_key`).  ``pomtlb campaign --checkpoint PATH
+--resume`` then skips any run whose key is already present — after a
+crash, a Ctrl-C, or an earlier partial campaign.
+
+Durability properties:
+
+* **atomic** — every update rewrites the file through the shared
+  temp-file + rename helper (:func:`repro.common.fileio.atomic_write_text`),
+  so the store on disk is always a complete, parseable document;
+* **self-describing** — a header line carries the format version;
+* **tolerant** — unreadable lines (e.g. a torn write from a pre-atomic
+  tool, or hand editing) are skipped on load, not fatal: a damaged entry
+  costs one re-simulation, never the campaign.
+
+Only *successful* runs are checkpointed.  Failures are re-attempted on
+resume: the error may have been environmental, and re-running is the
+only way to find out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from ..common.errors import CheckpointError
+from ..common.fileio import atomic_write_text
+from ..common.stats import StatRegistry
+from ..faults import NO_FAULTS, FaultPlan
+from ..obs.histogram import LogHistogram
+
+#: Bumped when the record schema changes; loaders reject other versions.
+FORMAT_VERSION = 1
+
+_HEADER_KEY = "pomtlb_checkpoint"
+
+
+def run_key(benchmark: str, scheme: str, params) -> str:
+    """Content-hash key of one run: benchmark, scheme and frozen params.
+
+    ``params`` is an :class:`~repro.experiments.runner.ExperimentParams`;
+    only its simulation-relevant fields participate (execution knobs like
+    worker count or timeout cannot change a result, so changing them must
+    still hit the checkpoint).  Any change to a participating field —
+    seed, scale, capacities, ablation switches — changes the key and
+    forces a re-simulation.
+    """
+    payload = {"benchmark": benchmark, "scheme": scheme,
+               "params": params.checkpoint_fields()}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+# -- run (de)serialization -----------------------------------------------------
+
+def serialize_run(run) -> dict:
+    """JSON-ready snapshot of a BenchmarkRun (results + Eq. 2-5 anchor)."""
+    import dataclasses
+
+    result = run.result
+    return {
+        "benchmark": run.benchmark,
+        "scheme": run.scheme,
+        "result": {
+            "scheme": result.scheme,
+            "references": result.references,
+            "instructions": result.instructions,
+            "l2_tlb_misses": result.l2_tlb_misses,
+            "penalty_cycles": result.penalty_cycles,
+            "translation_cycles": result.translation_cycles,
+            "data_cycles": result.data_cycles,
+            "page_walks": result.page_walks,
+            "stats": result.stats.as_nested_dict(),
+            "histograms": ({name: h.as_dict()
+                            for name, h in result.histograms.items()}
+                           if result.histograms is not None else None),
+        },
+        "performance": dataclasses.asdict(run.performance),
+    }
+
+
+def deserialize_run(record: dict):
+    """Inverse of :func:`serialize_run`.
+
+    Windowed metrics are not persisted (they exist only when a CLI
+    session asked for ``--metrics-out``, which is incompatible with
+    resuming from results that were never re-simulated).
+    """
+    from ..core.perfmodel import PerformanceEstimate
+    from ..core.system import SimulationResult
+    from ..experiments.runner import BenchmarkRun
+
+    data = record["result"]
+    histograms = data.get("histograms")
+    result = SimulationResult(
+        scheme=data["scheme"],
+        references=data["references"],
+        instructions=data["instructions"],
+        l2_tlb_misses=data["l2_tlb_misses"],
+        penalty_cycles=data["penalty_cycles"],
+        translation_cycles=data["translation_cycles"],
+        data_cycles=data["data_cycles"],
+        page_walks=data["page_walks"],
+        stats=StatRegistry.from_nested_dict(data["stats"]),
+        histograms=({name: LogHistogram.from_dict(h)
+                     for name, h in histograms.items()}
+                    if histograms is not None else None),
+        windows=None,
+    )
+    performance = PerformanceEstimate(**record["performance"])
+    return BenchmarkRun(benchmark=record["benchmark"],
+                        scheme=record["scheme"],
+                        result=result, performance=performance)
+
+
+# -- the store -----------------------------------------------------------------
+
+class CheckpointStore:
+    """JSONL store of finished runs, keyed by :func:`run_key`.
+
+    ``faults`` hooks the injectable ``ckpt-io`` failure mode; callers
+    treat a failed write as a warning (the campaign continues, the store
+    merely goes stale) — see the executor.
+    """
+
+    def __init__(self, path: str, faults: FaultPlan = NO_FAULTS,
+                 load: bool = True) -> None:
+        """``load=False`` starts fresh: existing records are ignored and
+        overwritten on the first write (a campaign without ``--resume``)."""
+        self.path = path
+        self.faults = faults
+        self._records: Dict[str, dict] = {}
+        self._skipped = 0
+        if load and os.path.exists(path):
+            self._load()
+
+    def _load(self) -> None:
+        with open(self.path) as handle:
+            first = handle.readline()
+            if not first.strip():
+                return
+            try:
+                header = json.loads(first)
+                version = header.get(_HEADER_KEY)
+            except (json.JSONDecodeError, AttributeError):
+                raise CheckpointError(
+                    f"{self.path}: not a checkpoint file") from None
+            if version != FORMAT_VERSION:
+                raise CheckpointError(
+                    f"{self.path}: unsupported checkpoint version {version!r}"
+                    f" (expected {FORMAT_VERSION})")
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    entry["run"]["result"]["references"]  # shape check
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    self._skipped += 1
+                    continue
+                self._records[key] = entry
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    @property
+    def skipped_lines(self) -> int:
+        """Damaged lines ignored on load (each costs one re-simulation)."""
+        return self._skipped
+
+    def get(self, key: str):
+        """The restored BenchmarkRun for ``key``, or None."""
+        entry = self._records.get(key)
+        if entry is None:
+            return None
+        return deserialize_run(entry["run"])
+
+    # -- updates -------------------------------------------------------------
+
+    def put(self, key: str, run) -> None:
+        """Record one finished run and persist the store atomically.
+
+        Raises ``OSError`` when the write fails (including injected
+        ``ckpt-io`` faults); the in-memory store keeps the record either
+        way, so a later successful ``put`` re-persists it.
+        """
+        self._records[key] = {"key": key, "benchmark": run.benchmark,
+                              "scheme": run.scheme,
+                              "run": serialize_run(run)}
+        if self.faults.enabled and self.faults.take_checkpoint_fault():
+            raise OSError(f"{self.path}: injected checkpoint write failure")
+        self._persist()
+
+    def _persist(self) -> None:
+        lines = [json.dumps({_HEADER_KEY: FORMAT_VERSION})]
+        lines.extend(json.dumps(entry, separators=(",", ":"))
+                     for entry in self._records.values())
+        atomic_write_text(self.path, "\n".join(lines) + "\n")

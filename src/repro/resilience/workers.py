@@ -1,0 +1,407 @@
+"""The resilient run executor: isolation, timeouts, retries, checkpoints.
+
+``execute_runs`` takes the campaign's full list of (benchmark, scheme,
+params) requests and returns one :class:`RunOutcome` per request.  Two
+execution modes share every other behaviour:
+
+* **serial** (``workers <= 1``) — runs execute in-process, exactly like
+  the pre-resilience campaign.  Process-level faults (crash, hang)
+  degrade to synthetic :class:`~repro.common.errors.WorkerCrash` /
+  :class:`~repro.common.errors.RunTimeout` errors, and per-run timeouts
+  are not enforced (there is no one to kill the run).
+* **process pool** (``workers >= 2``) — each run attempt executes in a
+  fresh child process; a crash or hang kills only that attempt.  Hung
+  workers are terminated at ``timeout_s``; dead workers are detected by
+  exit code.  Results come back over a pipe.
+
+On top of either mode: transient failures are retried with the
+:class:`~repro.resilience.retry.RetryPolicy` backoff, successes are
+persisted to the optional :class:`~repro.resilience.checkpoint.CheckpointStore`
+(restored runs skip execution entirely), and every retry / failure /
+completion is traced through the standard event tracer.  A checkpoint
+write failure is a warning, never fatal: losing durability must not lose
+the campaign.  ``KeyboardInterrupt`` tears down children and propagates,
+leaving the checkpoint resumable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common.errors import ReproError, RunTimeout, WorkerCrash
+from ..faults import NO_FAULTS, FaultPlan
+from ..obs import NULL_TRACER
+from ..obs import events as obs_events
+from .checkpoint import CheckpointStore, run_key
+from .retry import RetryPolicy, is_transient
+
+#: Exit code a crash-injected worker dies with (SIGABRT convention).
+CRASH_EXIT_CODE = 134
+
+#: Parent scheduler poll interval, seconds.
+_POLL_S = 0.01
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One (benchmark, scheme, params) simulation the campaign needs."""
+
+    benchmark: str
+    scheme: str
+    params: object  # ExperimentParams; duck-typed to avoid an import cycle
+
+    @property
+    def label(self) -> str:
+        return f"({self.benchmark}, {self.scheme})"
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Process-boundary-safe description of a failed attempt."""
+
+    type: str
+    message: str
+    transient: bool
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "ErrorInfo":
+        return cls(type=error.__class__.__name__, message=str(error),
+                   transient=is_transient(error))
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A run that exhausted its attempts; what reports annotate."""
+
+    benchmark: str
+    scheme: str
+    error: ErrorInfo
+    attempts: int
+
+
+@dataclass
+class RunOutcome:
+    """Terminal state of one request: a run, or a structured failure."""
+
+    request: RunRequest
+    key: str
+    run: Optional[object] = None        # BenchmarkRun on success
+    failure: Optional[RunFailure] = None
+    attempts: int = 0
+    restored: bool = False              # satisfied from the checkpoint
+
+    @property
+    def ok(self) -> bool:
+        return self.run is not None
+
+
+# -- child-process side --------------------------------------------------------
+
+def _child_entry(request: RunRequest, fault: Optional[Tuple[str, int]],
+                 conn) -> None:
+    """Run one attempt in a worker process and report over ``conn``."""
+    try:
+        if fault is not None:
+            kind = fault[0]
+            if kind == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            if kind == "hang":
+                while True:  # parked until the parent's timeout kills us
+                    time.sleep(60)
+        run = _simulate(request, fault)
+        conn.send(("ok", run))
+    except BaseException as error:  # noqa: BLE001 - must cross the pipe
+        conn.send(("error", ErrorInfo.from_exception(error)))
+    finally:
+        conn.close()
+
+
+def _simulate(request: RunRequest, fault: Optional[Tuple[str, int]]):
+    from ..experiments.runner import simulate_run
+
+    return simulate_run(request.benchmark, request.scheme, request.params,
+                        fault=fault)
+
+
+# -- the executor --------------------------------------------------------------
+
+class _Attempt:
+    """Bookkeeping for one queued or running attempt of a request."""
+
+    __slots__ = ("request", "key", "number", "ready_at")
+
+    def __init__(self, request: RunRequest, key: str, number: int,
+                 ready_at: float = 0.0) -> None:
+        self.request = request
+        self.key = key
+        self.number = number          # 1-based attempt counter
+        self.ready_at = ready_at      # monotonic time gate (backoff)
+
+
+def execute_runs(requests: List[RunRequest],
+                 workers: int = 0,
+                 timeout_s: float = 0.0,
+                 retry: Optional[RetryPolicy] = None,
+                 faults: FaultPlan = NO_FAULTS,
+                 checkpoint: Optional[CheckpointStore] = None,
+                 tracer=NULL_TRACER,
+                 on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+                 simulate: Optional[Callable] = None,
+                 ) -> List[RunOutcome]:
+    """Execute every request; never raises for per-run failures.
+
+    Returns outcomes in request order.  Raises ``KeyboardInterrupt``
+    (after killing any children) when interrupted — the checkpoint store,
+    if any, already holds every finished run.
+
+    ``simulate`` overrides the in-process simulation callable
+    (``(request, fault) -> BenchmarkRun``) and applies to serial mode
+    only — worker processes always import the canonical
+    :func:`repro.experiments.runner.simulate_run`.  The campaign uses it
+    to thread per-run observability through in-process execution.
+    """
+    retry = retry or RetryPolicy()
+    outcomes: Dict[str, RunOutcome] = {}
+    order: List[str] = []
+    todo: List[_Attempt] = []
+    for request in requests:
+        key = run_key(request.benchmark, request.scheme, request.params)
+        if key in outcomes:
+            continue  # duplicate request; one execution serves both
+        order.append(key)
+        restored = checkpoint.get(key) if checkpoint is not None else None
+        if restored is not None:
+            outcomes[key] = RunOutcome(request=request, key=key, run=restored,
+                                       restored=True)
+            _trace_complete(tracer, outcomes[key])
+            if on_outcome:
+                on_outcome(outcomes[key])
+        else:
+            outcomes[key] = RunOutcome(request=request, key=key)
+            todo.append(_Attempt(request, key, 1))
+
+    context = _Context(retry=retry, faults=faults, checkpoint=checkpoint,
+                       tracer=tracer, timeout_s=timeout_s,
+                       on_outcome=on_outcome, outcomes=outcomes)
+    if todo:
+        if workers and workers > 1:
+            _run_pooled(todo, workers, context)
+        else:
+            _run_serial(todo, context, simulate or _simulate)
+    return [outcomes[key] for key in order]
+
+
+@dataclass
+class _Context:
+    """Shared executor state threaded through both execution modes."""
+
+    retry: RetryPolicy
+    faults: FaultPlan
+    checkpoint: Optional[CheckpointStore]
+    tracer: object
+    timeout_s: float
+    on_outcome: Optional[Callable[[RunOutcome], None]]
+    outcomes: Dict[str, RunOutcome]
+
+    def take_fault(self, request: RunRequest) -> Optional[Tuple[str, int]]:
+        if not self.faults.enabled:
+            return None
+        fault = self.faults.take_run_fault(request.benchmark, request.scheme)
+        if fault is not None and fault[0] == "interrupt":
+            raise KeyboardInterrupt(
+                f"injected interrupt before {request.label}")
+        return fault
+
+    def succeed(self, attempt: _Attempt, run) -> None:
+        outcome = self.outcomes[attempt.key]
+        outcome.run = run
+        outcome.attempts = attempt.number
+        if self.checkpoint is not None:
+            try:
+                self.checkpoint.put(attempt.key, run)
+            except OSError as error:
+                print(f"warning: checkpoint write failed ({error}); "
+                      f"continuing without durability for this run",
+                      file=sys.stderr)
+                if self.tracer.enabled:
+                    self.tracer.marker("checkpoint_write_failed",
+                                       error=str(error))
+        _trace_complete(self.tracer, outcome)
+        if self.on_outcome:
+            self.on_outcome(outcome)
+
+    def fail_or_retry(self, attempt: _Attempt, error: ErrorInfo
+                      ) -> Optional[_Attempt]:
+        """Returns the next attempt to queue, or None (run failed)."""
+        if error.transient and attempt.number <= self.retry.max_retries:
+            delay = self.retry.delay_s(attempt.key, attempt.number)
+            if self.tracer.enabled:
+                self.tracer.emit(obs_events.RUN_RETRY,
+                                 benchmark=attempt.request.benchmark,
+                                 scheme=attempt.request.scheme,
+                                 attempt=attempt.number,
+                                 error=f"{error.type}: {error.message}")
+            return _Attempt(attempt.request, attempt.key, attempt.number + 1,
+                            ready_at=time.monotonic() + delay)
+        outcome = self.outcomes[attempt.key]
+        outcome.failure = RunFailure(benchmark=attempt.request.benchmark,
+                                     scheme=attempt.request.scheme,
+                                     error=error, attempts=attempt.number)
+        outcome.attempts = attempt.number
+        if self.tracer.enabled:
+            self.tracer.emit(obs_events.RUN_FAILURE,
+                             benchmark=attempt.request.benchmark,
+                             scheme=attempt.request.scheme,
+                             attempts=attempt.number,
+                             error=f"{error.type}: {error.message}")
+        if self.on_outcome:
+            self.on_outcome(outcome)
+        return None
+
+
+def _trace_complete(tracer, outcome: RunOutcome) -> None:
+    if tracer.enabled:
+        tracer.emit(obs_events.RUN_COMPLETE,
+                    benchmark=outcome.request.benchmark,
+                    scheme=outcome.request.scheme,
+                    attempts=outcome.attempts,
+                    restored=outcome.restored)
+
+
+# -- serial mode ---------------------------------------------------------------
+
+def _run_serial(todo: List[_Attempt], ctx: _Context,
+                simulate: Callable) -> None:
+    queue = deque(todo)
+    while queue:
+        attempt = queue.popleft()
+        wait = attempt.ready_at - time.monotonic()
+        if wait > 0:
+            time.sleep(wait)
+        fault = ctx.take_fault(attempt.request)
+        try:
+            if fault is not None and fault[0] == "crash":
+                # No process isolation to die in: synthesise the error the
+                # pooled mode would have reported.
+                raise WorkerCrash(attempt.request.benchmark,
+                                  attempt.request.scheme, CRASH_EXIT_CODE)
+            if fault is not None and fault[0] == "hang":
+                raise RunTimeout(attempt.request.benchmark,
+                                 attempt.request.scheme, ctx.timeout_s)
+            run = simulate(attempt.request, fault)
+        except Exception as error:  # KeyboardInterrupt propagates
+            retry_attempt = ctx.fail_or_retry(
+                attempt, ErrorInfo.from_exception(error))
+            if retry_attempt is not None:
+                queue.append(retry_attempt)
+            continue
+        ctx.succeed(attempt, run)
+
+
+# -- pooled mode ---------------------------------------------------------------
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class _Worker:
+    """One live child process executing one attempt."""
+
+    def __init__(self, ctx_mp, attempt: _Attempt,
+                 fault: Optional[Tuple[str, int]], timeout_s: float) -> None:
+        self.attempt = attempt
+        self.timeout_s = timeout_s
+        parent_conn, child_conn = ctx_mp.Pipe(duplex=False)
+        self.conn = parent_conn
+        self.process = ctx_mp.Process(
+            target=_child_entry, args=(attempt.request, fault, child_conn),
+            daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.deadline = (time.monotonic() + timeout_s) if timeout_s else None
+
+    def poll(self) -> Optional[Tuple[str, object]]:
+        """Non-blocking check: a ("ok"|"error", payload) message, a
+        synthesised error for crash/timeout, or None (still running)."""
+        if self.conn.poll():
+            try:
+                message = self.conn.recv()
+            except EOFError:
+                message = None
+            self.process.join()
+            if message is not None:
+                return message
+            return ("error", ErrorInfo.from_exception(WorkerCrash(
+                self.attempt.request.benchmark, self.attempt.request.scheme,
+                self.process.exitcode or 0)))
+        if not self.process.is_alive():
+            self.process.join()
+            return ("error", ErrorInfo.from_exception(WorkerCrash(
+                self.attempt.request.benchmark, self.attempt.request.scheme,
+                self.process.exitcode or 0)))
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            self.kill()
+            return ("error", ErrorInfo.from_exception(RunTimeout(
+                self.attempt.request.benchmark, self.attempt.request.scheme,
+                self.timeout_s)))
+        return None
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join()
+        self.conn.close()
+
+
+def _run_pooled(todo: List[_Attempt], workers: int, ctx: _Context) -> None:
+    ctx_mp = _mp_context()
+    queue = deque(todo)
+    running: List[_Worker] = []
+    try:
+        while queue or running:
+            now = time.monotonic()
+            # Launch ready attempts into free slots.
+            launched = True
+            while launched and len(running) < workers and queue:
+                launched = False
+                for _ in range(len(queue)):
+                    attempt = queue.popleft()
+                    if attempt.ready_at <= now:
+                        fault = ctx.take_fault(attempt.request)
+                        running.append(_Worker(ctx_mp, attempt, fault,
+                                               ctx.timeout_s))
+                        launched = True
+                        break
+                    queue.append(attempt)  # still backing off; rotate
+            # Collect finished workers.
+            still_running: List[_Worker] = []
+            for worker in running:
+                message = worker.poll()
+                if message is None:
+                    still_running.append(worker)
+                    continue
+                status, payload = message
+                if status == "ok":
+                    ctx.succeed(worker.attempt, payload)
+                else:
+                    retry_attempt = ctx.fail_or_retry(worker.attempt, payload)
+                    if retry_attempt is not None:
+                        queue.append(retry_attempt)
+            running = still_running
+            if queue or running:
+                time.sleep(_POLL_S)
+    except BaseException:
+        for worker in running:
+            worker.kill()
+        raise

@@ -59,6 +59,12 @@ class CoreStream:
 
 _HEADER_PREFIX = "#pomtlb-trace"
 
+#: Virtual addresses are at most this many bits; anything wider in a
+#: trace is corruption (a flipped sign bit, a torn write), not a bigger
+#: machine.
+MAX_ADDRESS_BITS = 64
+_MAX_VADDR = (1 << MAX_ADDRESS_BITS) - 1
+
 
 def _open(path: str, mode: str):
     if path.endswith(".gz"):
@@ -76,32 +82,76 @@ def save_stream(stream: CoreStream, path: str) -> None:
 
 
 def load_stream(path: str) -> CoreStream:
-    """Read one core's stream back from ``path``."""
+    """Read one core's stream back from ``path``.
+
+    Validation is strict: every diagnostic carries the file, the line
+    number and the offending text, so a corrupt trace points at its own
+    damage instead of surfacing as a simulator crash thousands of
+    references later.
+    """
     with _open(path, "r") as inp:
-        header = inp.readline().strip()
+        try:
+            header = inp.readline().strip()
+        except (EOFError, OSError) as exc:
+            # A torn gzip archive can fail on the very first read.
+            raise TraceFormatError(f"truncated trace file ({exc})",
+                                   path=path, lineno=1) from None
+        if not header:
+            raise TraceFormatError("empty trace file (truncated?)",
+                                   path=path, lineno=1)
         if not header.startswith(_HEADER_PREFIX):
-            raise TraceFormatError(f"{path}: missing trace header")
+            raise TraceFormatError("missing trace header",
+                                   path=path, lineno=1, text=header)
         fields = dict(part.split("=", 1) for part in header.split()[1:])
         try:
             stream = CoreStream(core=int(fields["core"]),
                                 vm_id=int(fields["vm"]),
                                 asid=int(fields["asid"]))
         except KeyError as missing:
-            raise TraceFormatError(f"{path}: header missing {missing}") from None
+            raise TraceFormatError(f"header missing field {missing}",
+                                   path=path, lineno=1,
+                                   text=header) from None
+        except ValueError:
+            raise TraceFormatError("non-integer header field",
+                                   path=path, lineno=1, text=header) from None
         refs: List[MemoryReference] = []
-        for lineno, line in enumerate(inp, start=2):
-            parts = line.split()
-            if not parts:
-                continue
-            if len(parts) != 3 or parts[2] not in ("R", "W"):
-                raise TraceFormatError(f"{path}:{lineno}: bad record {line!r}")
-            try:
-                refs.append(MemoryReference(icount=int(parts[0]),
-                                            vaddr=int(parts[1], 16),
+        lineno = 1
+        try:
+            for lineno, line in enumerate(inp, start=2):
+                parts = line.split()
+                if not parts:
+                    continue
+                if len(parts) != 3:
+                    raise TraceFormatError(
+                        "truncated record (expected '<icount> <vaddr-hex> "
+                        "<R|W>')", path=path, lineno=lineno,
+                        text=line.rstrip("\n"))
+                if parts[2] not in ("R", "W"):
+                    raise TraceFormatError(
+                        f"bad access type {parts[2]!r} (expected R or W)",
+                        path=path, lineno=lineno, text=line.rstrip("\n"))
+                try:
+                    icount = int(parts[0])
+                    vaddr = int(parts[1], 16)
+                except ValueError:
+                    raise TraceFormatError(
+                        "non-numeric record field", path=path, lineno=lineno,
+                        text=line.rstrip("\n")) from None
+                if icount < 0:
+                    raise TraceFormatError(
+                        "negative instruction count", path=path,
+                        lineno=lineno, text=line.rstrip("\n"))
+                if vaddr < 0 or vaddr > _MAX_VADDR:
+                    raise TraceFormatError(
+                        f"address out of range (not a {MAX_ADDRESS_BITS}-bit "
+                        "virtual address)", path=path, lineno=lineno,
+                        text=line.rstrip("\n"))
+                refs.append(MemoryReference(icount=icount, vaddr=vaddr,
                                             write=parts[2] == "W"))
-            except ValueError:
-                raise TraceFormatError(
-                    f"{path}:{lineno}: bad record {line!r}") from None
+        except (EOFError, OSError) as exc:
+            # gzip raises on a torn archive mid-iteration.
+            raise TraceFormatError(f"truncated trace file ({exc})",
+                                   path=path, lineno=lineno) from None
         stream.references = refs
         return stream
 
@@ -110,15 +160,22 @@ def validate_stream(stream: CoreStream) -> None:
     """Check trace invariants; raises :class:`TraceFormatError`.
 
     Instruction counts must be non-decreasing (references issue in
-    program order) and addresses non-negative.
+    program order) and addresses must fit a 64-bit virtual address.
+    Runs before every simulation, so a corrupt stream — hand-edited,
+    torn, or injected by the fault harness — fails with a diagnostic
+    instead of poisoning results.
     """
     last = -1
     for position, ref in enumerate(stream.references):
         if ref.icount < last:
             raise TraceFormatError(
-                f"record {position}: icount {ref.icount} goes backwards")
-        if ref.vaddr < 0:
-            raise TraceFormatError(f"record {position}: negative address")
+                f"record {position}: icount {ref.icount} goes backwards "
+                f"(previous {last})", lineno=position + 1, text=repr(ref))
+        if ref.vaddr < 0 or ref.vaddr > _MAX_VADDR:
+            raise TraceFormatError(
+                f"record {position}: address out of range (not a "
+                f"{MAX_ADDRESS_BITS}-bit virtual address)",
+                lineno=position + 1, text=repr(ref))
         last = ref.icount
 
 

@@ -1,0 +1,69 @@
+"""Unit tests for the shared atomic file-writing helpers."""
+
+import pytest
+
+from repro.common.fileio import AtomicFile, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(str(path), "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_file_left(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "x")
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failure_leaves_destination_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+        with pytest.raises(OSError):
+            atomic_write_text(str(tmp_path / "missing" / "out.txt"), "x")
+        assert path.read_text() == "precious"
+
+    def test_missing_directory_raises_and_cleans_up(self, tmp_path):
+        target = tmp_path / "no-such-dir" / "out.txt"
+        with pytest.raises(OSError):
+            atomic_write_text(str(target), "x")
+        assert not target.exists()
+
+
+class TestAtomicFile:
+    def test_commit_makes_content_visible(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic = AtomicFile(str(path))
+        atomic.file.write("streamed")
+        assert not path.exists()          # invisible until commit
+        atomic.commit()
+        assert path.read_text() == "streamed"
+        assert not (tmp_path / "out.txt.tmp").exists()
+
+    def test_abort_discards(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic = AtomicFile(str(path))
+        atomic.file.write("garbage")
+        atomic.abort()
+        assert not path.exists()
+        assert not (tmp_path / "out.txt.tmp").exists()
+
+    def test_abort_preserves_previous_version(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("v1")
+        atomic = AtomicFile(str(path))
+        atomic.file.write("v2 partial")
+        atomic.abort()
+        assert path.read_text() == "v1"
+
+    def test_commit_idempotent(self, tmp_path):
+        atomic = AtomicFile(str(tmp_path / "out.txt"))
+        atomic.file.write("x")
+        atomic.commit()
+        atomic.commit()  # second call is a no-op, not an error

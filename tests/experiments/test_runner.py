@@ -4,7 +4,13 @@ import dataclasses
 
 import pytest
 
-from repro.experiments.runner import BenchmarkRun, ExperimentParams, SuiteRunner
+from repro.common.errors import ConfigError, RunFailed
+from repro.experiments.runner import (
+    EXECUTION_FIELDS,
+    BenchmarkRun,
+    ExperimentParams,
+    SuiteRunner,
+)
 
 TINY = ExperimentParams(num_cores=1, refs_per_core=400, scale=0.02, seed=3)
 
@@ -44,6 +50,31 @@ class TestExperimentParams:
     def test_params_hashable(self):
         assert hash(ExperimentParams()) == hash(ExperimentParams())
 
+    @pytest.mark.parametrize("variable", [
+        "POMTLB_CORES", "POMTLB_REFS", "POMTLB_SEED", "POMTLB_WORKERS",
+    ])
+    def test_from_env_bad_int_names_variable(self, monkeypatch, variable):
+        monkeypatch.setenv(variable, "lots")
+        with pytest.raises(ConfigError) as excinfo:
+            ExperimentParams.from_env()
+        assert variable in str(excinfo.value)
+        assert "lots" in str(excinfo.value)
+
+    def test_from_env_bad_float_names_variable(self, monkeypatch):
+        monkeypatch.setenv("POMTLB_SCALE", "half")
+        with pytest.raises(ConfigError, match="POMTLB_SCALE"):
+            ExperimentParams.from_env()
+
+    def test_from_env_reads_workers(self, monkeypatch):
+        monkeypatch.setenv("POMTLB_WORKERS", "4")
+        assert ExperimentParams.from_env().workers == 4
+
+    def test_checkpoint_fields_exclude_execution_knobs(self):
+        fields = ExperimentParams().checkpoint_fields()
+        for name in EXECUTION_FIELDS:
+            assert name not in fields
+        assert "seed" in fields and "scale" in fields
+
 
 class TestSuiteRunner:
     def test_run_returns_benchmark_run(self, runner):
@@ -79,3 +110,33 @@ class TestSuiteRunner:
     def test_unknown_scheme_rejected(self, runner):
         with pytest.raises(ValueError):
             runner.run("gcc", "quantum")
+
+    def test_simulations_counter_tracks_cache_misses(self):
+        local = SuiteRunner(TINY)
+        local.run("gcc", "pom")
+        local.run("gcc", "pom")   # memoised; no new simulation
+        assert local.simulations == 1
+
+    def test_install_feeds_the_cache(self, runner):
+        local = SuiteRunner(TINY)
+        run = runner.run("gcc", "pom")
+        local.install(run, TINY)
+        assert local.run("gcc", "pom") is run
+        assert local.simulations == 0
+
+    def test_recorded_failure_raises_run_failed(self):
+        local = SuiteRunner(TINY)
+
+        class _Error:
+            type = "WorkerCrash"
+            message = "died"
+
+        class _Failure:
+            error = _Error()
+            attempts = 3
+
+        local.record_failure("gcc", "pom", _Failure())
+        with pytest.raises(RunFailed, match="WorkerCrash"):
+            local.run("gcc", "pom")
+        # Other (benchmark, scheme) pairs are unaffected.
+        assert local.run("gcc", "baseline").benchmark == "gcc"

@@ -44,6 +44,38 @@ class TestJsonlSink:
         sink.close()
 
 
+class TestAtomicPaths:
+    """Path destinations are invisible until close (temp file + rename)."""
+
+    def test_jsonl_appears_only_on_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(str(path))
+        tracer = EventTracer([sink])
+        _emit_run(tracer)
+        assert not path.exists()          # still in the temp file
+        sink.close()
+        assert path.exists()
+        assert not (tmp_path / "t.jsonl.tmp").exists()
+
+    def test_chrome_appears_only_on_close(self, tmp_path):
+        path = tmp_path / "t.json"
+        sink = ChromeTraceSink(str(path))
+        _emit_run(EventTracer([sink], meta={"benchmark": "x",
+                                            "scheme": "pom"}))
+        assert not path.exists()
+        sink.close()
+        json.load(open(path))             # a complete document, not a torn one
+
+    def test_file_object_destination_not_renamed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as handle:
+            sink = JsonlSink(handle)
+            _emit_run(EventTracer([sink]))
+            sink.close()
+        assert path.exists()
+        assert not (tmp_path / "t.jsonl.tmp").exists()
+
+
 class TestChromeTraceSink:
     def _trace(self, tmp_path, runs=1):
         path = str(tmp_path / "t.json")

@@ -1,0 +1,144 @@
+"""Unit tests for the checkpoint store: keys, round trips, durability."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.errors import CheckpointError
+from repro.experiments.runner import ExperimentParams, simulate_run
+from repro.faults import FaultPlan
+from repro.resilience import CheckpointStore, run_key
+from repro.resilience.checkpoint import deserialize_run, serialize_run
+
+TINY = ExperimentParams(num_cores=1, refs_per_core=300, scale=0.02, seed=5)
+
+
+@pytest.fixture(scope="module")
+def run():
+    return simulate_run("gups", "pom", TINY)
+
+
+class TestRunKey:
+    def test_stable(self):
+        assert run_key("gups", "pom", TINY) == run_key("gups", "pom", TINY)
+        assert len(run_key("gups", "pom", TINY)) == 32
+
+    def test_benchmark_and_scheme_participate(self):
+        base = run_key("gups", "pom", TINY)
+        assert run_key("mcf", "pom", TINY) != base
+        assert run_key("gups", "tsb", TINY) != base
+
+    def test_seed_change_misses(self):
+        other = dataclasses.replace(TINY, seed=TINY.seed + 1)
+        assert run_key("gups", "pom", other) != run_key("gups", "pom", TINY)
+
+    @pytest.mark.parametrize("field,value", [
+        ("scale", 0.5), ("num_cores", 2), ("pom_size_bytes", 8 << 20),
+        ("cache_tlb_entries", False), ("virtualized", False),
+    ])
+    def test_simulation_fields_participate(self, field, value):
+        other = dataclasses.replace(TINY, **{field: value})
+        assert run_key("gups", "pom", other) != run_key("gups", "pom", TINY)
+
+    @pytest.mark.parametrize("field,value", [
+        ("workers", 8), ("run_timeout_s", 60.0),
+        ("max_retries", 9), ("retry_backoff_s", 2.0),
+    ])
+    def test_execution_knobs_excluded(self, field, value):
+        other = dataclasses.replace(TINY, **{field: value})
+        assert run_key("gups", "pom", other) == run_key("gups", "pom", TINY)
+
+
+class TestSerialization:
+    def test_round_trip(self, run):
+        restored = deserialize_run(json.loads(json.dumps(serialize_run(run))))
+        assert restored.benchmark == run.benchmark
+        assert restored.scheme == run.scheme
+        assert restored.result.references == run.result.references
+        assert restored.result.l2_tlb_misses == run.result.l2_tlb_misses
+        assert restored.result.penalty_cycles == run.result.penalty_cycles
+        assert restored.performance == run.performance
+        assert (restored.result.stats.as_nested_dict()
+                == run.result.stats.as_nested_dict())
+
+    def test_histograms_survive(self, run):
+        restored = deserialize_run(serialize_run(run))
+        assert run.result.histograms is not None
+        for name, histogram in run.result.histograms.items():
+            assert restored.result.histograms[name].as_dict() \
+                == histogram.as_dict()
+
+    def test_windows_not_persisted(self, run):
+        assert deserialize_run(serialize_run(run)).result.windows is None
+
+    def test_derived_metrics_agree(self, run):
+        restored = deserialize_run(serialize_run(run))
+        assert restored.result.pom_hit_ratio() == run.result.pom_hit_ratio()
+        assert restored.result.walk_elimination == run.result.walk_elimination
+        assert restored.improvement_percent == run.improvement_percent
+
+
+class TestStore:
+    def test_persists_across_instances(self, run, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        key = run_key(run.benchmark, run.scheme, TINY)
+        CheckpointStore(path).put(key, run)
+        reopened = CheckpointStore(path)
+        assert key in reopened
+        assert len(reopened) == 1
+        assert reopened.get(key).performance == run.performance
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert CheckpointStore(str(tmp_path / "ck.jsonl")).get("nope") is None
+
+    def test_header_line_first(self, run, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointStore(str(path)).put("k", run)
+        first = path.read_text().splitlines()[0]
+        assert json.loads(first) == {"pomtlb_checkpoint": 1}
+
+    def test_load_false_starts_fresh(self, run, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        CheckpointStore(path).put("old", run)
+        fresh = CheckpointStore(path, load=False)
+        assert "old" not in fresh
+        fresh.put("new", run)
+        assert "old" not in CheckpointStore(path)
+
+    def test_damaged_line_skipped_not_fatal(self, run, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(str(path))
+        store.put("good", run)
+        with open(path, "a") as handle:
+            handle.write('{"key": "torn", "run": {"result"\n')
+        reopened = CheckpointStore(str(path))
+        assert "good" in reopened
+        assert reopened.skipped_lines == 1
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text('{"pomtlb_checkpoint": 99}\n')
+        with pytest.raises(CheckpointError, match="99"):
+            CheckpointStore(str(path))
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("hello world\n")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(str(path))
+
+    def test_no_temp_file_left_behind(self, run, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointStore(str(path)).put("k", run)
+        assert not (tmp_path / "ck.jsonl.tmp").exists()
+
+    def test_injected_io_fault_raises_but_keeps_record(self, run, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        store = CheckpointStore(path, faults=FaultPlan.parse("ckpt-io#1"))
+        with pytest.raises(OSError, match="injected"):
+            store.put("first", run)
+        assert "first" in store          # in memory despite the failure
+        store.put("second", run)         # fault consumed; this one persists
+        reopened = CheckpointStore(path)
+        assert "first" in reopened and "second" in reopened

@@ -1,0 +1,216 @@
+"""Unit tests for the resilient executor, serial and pooled."""
+
+import pytest
+
+from repro.common.errors import RunTimeout, TraceFormatError
+from repro.experiments.runner import ExperimentParams, simulate_run
+from repro.faults import NO_FAULTS, FaultPlan
+from repro.obs import EventTracer
+from repro.obs.sinks import ListSink
+from repro.resilience import (
+    CheckpointStore,
+    RetryPolicy,
+    RunRequest,
+    execute_runs,
+    run_key,
+)
+
+TINY = ExperimentParams(num_cores=1, refs_per_core=300, scale=0.02, seed=5)
+
+#: No-sleep policy so retry tests don't wait out real backoff delays.
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay_s=0.0, jitter=0.0)
+
+
+def request(benchmark="gups", scheme="pom", params=TINY):
+    return RunRequest(benchmark, scheme, params)
+
+
+class _StubRun:
+    """Stands in for a BenchmarkRun where no checkpoint store is involved."""
+
+    benchmark = "gups"
+    scheme = "pom"
+
+
+class TestSerial:
+    def test_success(self):
+        calls = []
+
+        def simulate(req, fault):
+            calls.append(req.label)
+            return _StubRun()
+
+        outcomes = execute_runs([request()], retry=FAST_RETRY,
+                                simulate=simulate)
+        assert len(outcomes) == 1
+        assert outcomes[0].ok
+        assert outcomes[0].attempts == 1
+        assert not outcomes[0].restored
+        assert calls == ["(gups, pom)"]
+
+    def test_duplicate_requests_execute_once(self):
+        calls = []
+
+        def simulate(req, fault):
+            calls.append(req.label)
+            return _StubRun()
+
+        outcomes = execute_runs([request(), request()], retry=FAST_RETRY,
+                                simulate=simulate)
+        assert len(outcomes) == 1
+        assert len(calls) == 1
+
+    def test_transient_error_retried_to_success(self):
+        attempts = []
+
+        def simulate(req, fault):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RunTimeout(req.benchmark, req.scheme, 1.0)
+            return _StubRun()
+
+        outcomes = execute_runs([request()], retry=FAST_RETRY,
+                                simulate=simulate)
+        assert outcomes[0].ok
+        assert outcomes[0].attempts == 2
+
+    def test_transient_exhaustion_becomes_failure(self):
+        def simulate(req, fault):
+            raise RunTimeout(req.benchmark, req.scheme, 1.0)
+
+        outcomes = execute_runs([request()], retry=FAST_RETRY,
+                                simulate=simulate)
+        outcome = outcomes[0]
+        assert not outcome.ok
+        assert outcome.failure.error.type == "RunTimeout"
+        assert outcome.failure.attempts == FAST_RETRY.max_retries + 1
+
+    def test_permanent_error_fails_immediately(self):
+        calls = []
+
+        def simulate(req, fault):
+            calls.append(1)
+            raise TraceFormatError("corrupt")
+
+        outcomes = execute_runs([request()], retry=FAST_RETRY,
+                                simulate=simulate)
+        assert not outcomes[0].ok
+        assert outcomes[0].failure.error.type == "TraceFormatError"
+        assert len(calls) == 1
+
+    def test_crash_fault_degrades_to_worker_crash(self):
+        plan = FaultPlan.parse("crash@gups/pom#*")
+        outcomes = execute_runs([request()], retry=FAST_RETRY, faults=plan,
+                                simulate=lambda req, fault: _StubRun())
+        assert outcomes[0].failure.error.type == "WorkerCrash"
+
+    def test_hang_fault_degrades_to_timeout(self):
+        plan = FaultPlan.parse("hang@gups/pom#*")
+        outcomes = execute_runs([request()], retry=FAST_RETRY, faults=plan,
+                                simulate=lambda req, fault: _StubRun())
+        assert outcomes[0].failure.error.type == "RunTimeout"
+
+    def test_single_crash_recovers_on_retry(self):
+        plan = FaultPlan.parse("crash@gups/pom#1")
+        outcomes = execute_runs([request()], retry=FAST_RETRY, faults=plan,
+                                simulate=lambda req, fault: _StubRun())
+        assert outcomes[0].ok
+        assert outcomes[0].attempts == 2
+
+    def test_interrupt_fault_raises_keyboard_interrupt(self):
+        plan = FaultPlan.parse("interrupt#1")
+        with pytest.raises(KeyboardInterrupt):
+            execute_runs([request()], retry=FAST_RETRY, faults=plan,
+                         simulate=lambda req, fault: _StubRun())
+
+    def test_on_outcome_called_per_request(self):
+        seen = []
+        execute_runs([request(), request(scheme="tsb")], retry=FAST_RETRY,
+                     simulate=lambda req, fault: _StubRun(),
+                     on_outcome=lambda outcome: seen.append(
+                         outcome.request.scheme))
+        assert seen == ["pom", "tsb"]
+
+
+class TestCheckpointIntegration:
+    def test_restored_run_skips_execution(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck.jsonl"))
+        run = simulate_run("gups", "pom", TINY)
+        store.put(run_key("gups", "pom", TINY), run)
+        calls = []
+        outcomes = execute_runs([request()], retry=FAST_RETRY,
+                                checkpoint=store,
+                                simulate=lambda req, fault: calls.append(1))
+        assert outcomes[0].restored
+        assert outcomes[0].ok
+        assert calls == []
+
+    def test_success_lands_in_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        store = CheckpointStore(path)
+        execute_runs([request()], retry=FAST_RETRY, checkpoint=store,
+                     simulate=lambda req, fault: simulate_run(
+                         req.benchmark, req.scheme, req.params))
+        assert run_key("gups", "pom", TINY) in CheckpointStore(path)
+
+    def test_checkpoint_write_failure_is_warning(self, tmp_path, capsys):
+        store = CheckpointStore(str(tmp_path / "ck.jsonl"),
+                                faults=FaultPlan.parse("ckpt-io#1"))
+        outcomes = execute_runs([request()], retry=FAST_RETRY,
+                                checkpoint=store,
+                                simulate=lambda req, fault: simulate_run(
+                                    req.benchmark, req.scheme, req.params))
+        assert outcomes[0].ok  # the campaign keeps the run either way
+        assert "checkpoint write failed" in capsys.readouterr().err
+
+
+class TestEvents:
+    def _tracer(self):
+        sink = ListSink()
+        return EventTracer([sink]), sink
+
+    def test_complete_and_retry_and_failure_events(self):
+        tracer, sink = self._tracer()
+        plan = FaultPlan.parse("crash@gups/pom#1,crash@gups/tsb#*")
+        execute_runs([request(), request(scheme="tsb")],
+                     retry=RetryPolicy(max_retries=1, base_delay_s=0.0),
+                     faults=plan, tracer=tracer,
+                     simulate=lambda req, fault: _StubRun())
+        types = [event["type"] for event in sink.events]
+        assert types.count("run_retry") == 2      # one per scheme
+        assert types.count("run_complete") == 1   # pom recovered
+        assert types.count("run_failure") == 1    # tsb exhausted
+        failure = [e for e in sink.events if e["type"] == "run_failure"][0]
+        assert failure["scheme"] == "tsb"
+        assert "WorkerCrash" in failure["error"]
+
+
+class TestPooled:
+    def test_pooled_matches_serial_results(self):
+        requests = [request("gups", "pom"), request("gcc", "baseline")]
+        serial = execute_runs(requests, workers=0, retry=FAST_RETRY)
+        pooled = execute_runs(requests, workers=2, retry=FAST_RETRY)
+        for s, p in zip(serial, pooled):
+            assert s.ok and p.ok
+            assert s.run.performance == p.run.performance
+            assert s.run.result.penalty_cycles == p.run.result.penalty_cycles
+
+    def test_pooled_crash_isolated_and_reported(self):
+        plan = FaultPlan.parse("crash@gups/pom#*")
+        outcomes = execute_runs(
+            [request("gups", "pom"), request("gcc", "baseline")],
+            workers=2, retry=RetryPolicy(max_retries=0), faults=plan)
+        by_scheme = {o.request.scheme: o for o in outcomes}
+        assert not by_scheme["pom"].ok
+        assert by_scheme["pom"].failure.error.type == "WorkerCrash"
+        assert "134" in by_scheme["pom"].failure.error.message
+        assert by_scheme["baseline"].ok  # the other run is unharmed
+
+    def test_pooled_hang_reaped_by_timeout(self):
+        plan = FaultPlan.parse("hang@gups/pom#*")
+        outcomes = execute_runs([request("gups", "pom")], workers=2,
+                                timeout_s=0.5,
+                                retry=RetryPolicy(max_retries=0),
+                                faults=plan)
+        assert not outcomes[0].ok
+        assert outcomes[0].failure.error.type == "RunTimeout"

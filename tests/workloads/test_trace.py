@@ -80,6 +80,70 @@ class TestSerialization:
         assert len(load_stream(str(path)).references) == 1
 
 
+class TestErrorContext:
+    """Strict validation names the file, line and offending text."""
+
+    def test_bad_record_names_line_and_text(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#pomtlb-trace core=0 vm=0 asid=1\n"
+                        "10 1000 R\n10 zz R\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_stream(str(path))
+        error = excinfo.value
+        assert error.lineno == 3
+        assert error.path == str(path)
+        assert error.text == "10 zz R"
+        assert f"{path}:3:" in str(error)
+        assert "10 zz R" in str(error)
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#pomtlb-trace core=0 vm=0 asid=1\n10 1000\n")
+        with pytest.raises(TraceFormatError, match="truncated record"):
+            load_stream(str(path))
+
+    def test_negative_address_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#pomtlb-trace core=0 vm=0 asid=1\n10 -1f R\n")
+        with pytest.raises(TraceFormatError, match="out of range"):
+            load_stream(str(path))
+
+    def test_oversized_address_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        too_wide = format(1 << 64, "x")
+        path.write_text(f"#pomtlb-trace core=0 vm=0 asid=1\n10 {too_wide} R\n")
+        with pytest.raises(TraceFormatError, match="64-bit"):
+            load_stream(str(path))
+
+    def test_negative_icount_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#pomtlb-trace core=0 vm=0 asid=1\n-10 1000 R\n")
+        with pytest.raises(TraceFormatError, match="negative instruction"):
+            load_stream(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_stream(str(path))
+
+    def test_non_integer_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#pomtlb-trace core=zero vm=0 asid=1\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_stream(str(path))
+
+    def test_truncated_gzip_rejected(self, tmp_path):
+        s = make_stream(n=50)
+        path = str(tmp_path / "trace.txt.gz")
+        save_stream(s, path)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[:len(data) // 2])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_stream(path)
+
+
 class TestValidate:
     def test_valid_stream_passes(self):
         validate_stream(make_stream())
@@ -92,6 +156,21 @@ class TestValidate:
     def test_equal_icount_allowed(self):
         refs = [MemoryReference(10, 0, False), MemoryReference(10, 0, False)]
         validate_stream(CoreStream(0, 0, 0, refs))
+
+    def test_negative_address_rejected(self):
+        refs = [MemoryReference(10, -1, False)]
+        with pytest.raises(TraceFormatError, match="out of range"):
+            validate_stream(CoreStream(0, 0, 0, refs))
+
+    def test_oversized_address_rejected(self):
+        refs = [MemoryReference(10, 1 << 64, False)]
+        with pytest.raises(TraceFormatError, match="64-bit"):
+            validate_stream(CoreStream(0, 0, 0, refs))
+
+    def test_error_names_offending_record(self):
+        refs = [MemoryReference(10, 0, False), MemoryReference(5, 0, False)]
+        with pytest.raises(TraceFormatError, match="record 1"):
+            validate_stream(CoreStream(0, 0, 0, refs))
 
 
 class TestInterleave:
