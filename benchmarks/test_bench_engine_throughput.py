@@ -1,0 +1,137 @@
+"""Throughput benchmark: optimized engine vs the frozen reference engine.
+
+The fast-path rewrite (packed keys, slot counters, dict-ordering LRU,
+batched replay, walk-path memoization) is only worth carrying if it
+actually pays.  This benchmark measures references/second per scheme
+for both engines on the default harness workload and holds the rewrite
+to two promises:
+
+* **speed** — aggregate (geometric-mean) speedup over the frozen
+  reference engine of at least ``POMTLB_MIN_SPEEDUP`` (default 2x),
+  with a per-scheme sanity floor, and
+* **equivalence** — every StatRegistry counter and every
+  ``SimulationResult`` scalar identical between the two engines
+  (the same contract tests/integration/test_engine_equivalence.py
+  enforces at tier 1, re-checked here at benchmark scale).
+
+The reference engine is :mod:`repro.core.refcheck`, a verbatim frozen
+copy of the pre-rewrite hot loops, so the ratio is machine-independent:
+both engines run in the same process on the same inputs.  Rounds are
+interleaved (reference, optimized, reference, ...) and each side keeps
+its best time, so background load biases neither engine.
+
+Results land in ``BENCH_engine.json`` under ``engine_throughput``.
+
+Scale knobs: the shared POMTLB_* variables (see conftest), plus
+``POMTLB_BENCH_ROUNDS`` (default 3) and ``POMTLB_MIN_SPEEDUP``
+(default 2.0; CI lowers it on reduced-refs runs where fixed per-run
+overhead dilutes the hot loop).
+"""
+
+import math
+import os
+from time import perf_counter
+
+from repro.core.refcheck import ReferenceMachine
+from repro.core.system import Machine
+from repro.workloads.suite import get_profile
+
+SCHEMES = ("baseline", "pom", "pom_skewed", "shared_l2", "tsb")
+
+RESULT_FIELDS = ("scheme", "references", "instructions", "l2_tlb_misses",
+                 "penalty_cycles", "translation_cycles", "data_cycles",
+                 "page_walks")
+
+_ROUNDS = int(os.environ.get("POMTLB_BENCH_ROUNDS", 3))
+_MIN_AGGREGATE = float(os.environ.get("POMTLB_MIN_SPEEDUP", 2.0))
+_MIN_PER_SCHEME = 1.3
+
+
+def _equivalent(reference, optimized) -> bool:
+    return (all(getattr(reference, f) == getattr(optimized, f)
+                for f in RESULT_FIELDS)
+            and reference.stats.as_nested_dict()
+            == optimized.stats.as_nested_dict())
+
+
+def _timed_run(factory, streams, warmup):
+    machine = factory()
+    started = perf_counter()
+    result = machine.run(streams, warmup_references=warmup)
+    return perf_counter() - started, result
+
+
+def test_bench_engine_throughput(params, bench_json):
+    profile = get_profile("gups")
+    workload = profile.build(num_cores=params.num_cores,
+                             refs_per_core=params.refs_per_core,
+                             seed=params.seed, scale=params.scale)
+    warmup = workload.warmup_by_core or workload.warmup_references
+    config = params.system_config()
+
+    per_scheme = {}
+    speedups = []
+    failures = []
+    for scheme in SCHEMES:
+        def reference():
+            return ReferenceMachine(
+                config, scheme=scheme,
+                thp_large_fraction=profile.thp_large_fraction,
+                seed=params.seed)
+
+        def optimized():
+            return Machine(
+                config, scheme=scheme,
+                thp_large_fraction=profile.thp_large_fraction,
+                seed=params.seed)
+
+        ref_best = opt_best = float("inf")
+        ref_result = opt_result = None
+        for _ in range(_ROUNDS):
+            elapsed, ref_result = _timed_run(reference, workload.streams,
+                                             warmup)
+            ref_best = min(ref_best, elapsed)
+            elapsed, opt_result = _timed_run(optimized, workload.streams,
+                                             warmup)
+            opt_best = min(opt_best, elapsed)
+
+        equal = _equivalent(ref_result, opt_result)
+        if not equal:
+            failures.append(scheme)
+        refs = opt_result.references
+        speedup = ref_best / opt_best
+        speedups.append(speedup)
+        per_scheme[scheme] = {
+            "refs": refs,
+            "refs_per_sec": round(refs / opt_best, 1),
+            "total_s": round(opt_best, 4),
+            "ref_refs_per_sec": round(refs / ref_best, 1),
+            "ref_total_s": round(ref_best, 4),
+            "speedup": round(speedup, 3),
+            "equal": equal,
+        }
+        print(f"\n{scheme:11s} ref {ref_best:6.3f}s opt {opt_best:6.3f}s "
+              f"speedup {speedup:.2f}x equal={equal}")
+
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    bench_json("engine_throughput", {
+        "workload": "gups",
+        "params": {"num_cores": params.num_cores,
+                   "refs_per_core": params.refs_per_core,
+                   "scale": params.scale, "seed": params.seed},
+        "rounds": _ROUNDS,
+        "schemes": per_scheme,
+        "geomean_speedup": round(geomean, 3),
+    })
+
+    assert not failures, (
+        f"optimized engine diverged from the reference for {failures}; "
+        "see tests/integration/test_engine_equivalence.py for the "
+        "counter-level diff")
+    laggards = {s: round(v, 2) for s, v in zip(SCHEMES, speedups)
+                if v < _MIN_PER_SCHEME}
+    assert not laggards, (
+        f"per-scheme speedup floor {_MIN_PER_SCHEME}x violated: {laggards}")
+    assert geomean >= _MIN_AGGREGATE, (
+        f"aggregate speedup {geomean:.2f}x < target {_MIN_AGGREGATE}x "
+        f"(per scheme: {[round(s, 2) for s in speedups]})")

@@ -42,7 +42,7 @@ def _best_of(fn, rounds=_ROUNDS):
     return best
 
 
-def test_bench_disabled_observability_overhead(benchmark):
+def test_bench_disabled_observability_overhead(benchmark, bench_json):
     baseline_run = _make_run(Observability.disabled)
     default_run = _make_run(lambda: None)  # Machine's default Observability
 
@@ -55,6 +55,16 @@ def test_bench_disabled_observability_overhead(benchmark):
     overhead = instrumented / baseline - 1.0
     print(f"\nbaseline {baseline:.3f}s, instrumented {instrumented:.3f}s, "
           f"overhead {100 * overhead:+.1f}%")
+    bench_json("obs_overhead", {
+        "workload": "gups",
+        "params": {"num_cores": 2, "refs_per_core": 3000,
+                   "scale": 0.2, "seed": 7},
+        "rounds": _ROUNDS,
+        "disabled_s": round(baseline, 4),
+        "default_s": round(instrumented, 4),
+        "overhead_pct": round(100 * overhead, 2),
+        "budget_pct": 5.0,
+    })
     assert instrumented <= baseline * 1.05 + _SLACK_SECONDS, (
         f"disabled-observability hot path costs {100 * overhead:.1f}% "
         f"(budget 5%)")

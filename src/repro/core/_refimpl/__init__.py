@@ -1,0 +1,37 @@
+"""Frozen pre-rewrite substrate for the counter-equivalence oracle.
+
+Every module in this package is a **verbatim copy** (imports adjusted
+for the package location, nothing else) of the implementation the
+repository shipped before the fast-path engine rewrite:
+
+========================  =======================================
+module                    frozen copy of
+========================  =======================================
+``cache``                 ``repro/cache/cache.py``
+``hierarchy``             ``repro/cache/hierarchy.py``
+``bank``                  ``repro/dram/bank.py``
+``channel``               ``repro/dram/channel.py``
+``page_table``            ``repro/paging/page_table.py``
+``walk_cache``            ``repro/paging/walk_cache.py``
+``walker``                ``repro/paging/walker.py``
+``nested``                ``repro/paging/nested.py``
+``walkers``               ``repro/core/walkers.py``
+``vm``                    ``repro/vmm/vm.py``
+========================  =======================================
+
+:mod:`repro.core.refcheck` builds its :class:`ReferenceMachine` from
+these classes so the oracle exercises the *pre-optimization* data
+caches, DRAM timing model, radix page tables, paging-structure caches
+and nested walkers — not the live, optimized ones.  That makes the
+differential equivalence test independent of the live substrate and
+turns the throughput benchmark's ratio into an honest before/after
+comparison on the same machine.
+
+DO NOT optimize or "clean up" these modules.  Their slowness and their
+exact operation order are the recorded baseline; any behavioural drift
+here silently weakens the equivalence guarantee.  Modules the rewrite
+did not touch (``repro.cache.replacement``, ``repro.dram.mapping``,
+``repro.vmm.memory_manager``, ``repro.vmm.thp``, predictor, TSB,
+POM-TLB addressing) are imported live on purpose: freezing them would
+only duplicate code that has no optimized counterpart to diverge from.
+"""

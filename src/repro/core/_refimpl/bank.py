@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..common.config import DramTimingConfig
-from ..common.stats import StatGroup
+from ...common.config import DramTimingConfig
+from ...common.stats import StatGroup
 
 
 class DramBank:
@@ -29,14 +29,6 @@ class DramBank:
         self._timing = timing
         self._stats = stats
         self._open_row: Optional[int] = None
-        # Access-class costs, precomputed; counters resolved once (all
-        # banks of a channel share the group, hence the same cells).
-        self._hit_cost = timing.tcas
-        self._miss_cost = timing.trcd + timing.tcas
-        self._conflict_cost = timing.trp + timing.trcd + timing.tcas
-        self._row_hits = stats.counter("row_hits")
-        self._row_misses = stats.counter("row_misses")
-        self._row_conflicts = stats.counter("row_conflicts")
 
     @property
     def open_row(self) -> Optional[int]:
@@ -45,20 +37,16 @@ class DramBank:
 
     def access(self, row: int) -> int:
         """Access ``row``; returns the cost in bus cycles and updates state."""
-        open_row = self._open_row
-        if open_row == row:
-            slot = self._row_hits
-            slot.value += 1
-            slot.touched = True
-            return self._hit_cost
-        if open_row is None:
-            slot = self._row_misses
-            cost = self._miss_cost
+        timing = self._timing
+        if self._open_row == row:
+            self._stats.inc("row_hits")
+            return timing.tcas
+        if self._open_row is None:
+            self._stats.inc("row_misses")
+            cost = timing.trcd + timing.tcas
         else:
-            slot = self._row_conflicts
-            cost = self._conflict_cost
-        slot.value += 1
-        slot.touched = True
+            self._stats.inc("row_conflicts")
+            cost = timing.trp + timing.trcd + timing.tcas
         self._open_row = row
         return cost
 

@@ -13,21 +13,16 @@ can report TLB-entry hit ratios (Fig 9) and data-cache pollution.
 The optional ``tlb_priority`` mode implements the Section 5.1 extension
 (*TLB-aware caching*): when enabled, a ``tlb`` line is never chosen as a
 victim while a ``data`` line exists in the set.
-
-Recency is stored in the set dicts themselves (oldest first, newest
-last, Python dicts preserve insertion order): a hit re-inserts the tag
-at the end, the LRU victim is the first key.  This produces the exact
-victim sequence of the previous per-set ``LruPolicy`` objects while
-halving the bookkeeping on the per-access path.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..common import addr
-from ..common.config import CacheConfig
-from ..common.stats import StatGroup
+from ...common import addr
+from ...common.config import CacheConfig
+from ...common.stats import StatGroup
+from ...cache.replacement import LruPolicy
 
 DATA = "data"
 TLB = "tlb"
@@ -49,34 +44,20 @@ class SetAssociativeCache:
         self._num_sets = config.num_sets
         self._set_mask = self._num_sets - 1
         self._line_shift = addr.ilog2(config.line_bytes)
-        self._set_shift = addr.ilog2(self._num_sets)
-        self._ways = config.ways
-        # One {tag: kind} dict per set, ordered oldest -> most recent.
-        self._tags: Tuple[Dict[int, str], ...] = tuple(
-            {} for _ in range(self._num_sets))
+        # One {tag: kind} dict plus one LRU tracker per set.
+        self._tags: Tuple[Dict[int, str], ...] = tuple({} for _ in range(self._num_sets))
+        self._lru: Tuple[LruPolicy, ...] = tuple(LruPolicy() for _ in range(self._num_sets))
         # Dirty lines, by (set, tag); populated only when callers use the
         # write-back API (mark_dirty / fill(dirty=True)).
         self._dirty: set = set()
         #: dirtiness of the line evicted by the most recent fill()
         self.last_evicted_dirty: bool = False
-        # Per-kind counter slots, resolved once (see common.stats).  Held
-        # as direct attributes: the hot path selects with one string
-        # compare (identity fast path — callers pass the module
-        # constants) instead of hashing into a dict per access.
-        self._data_hits = stats.counter(f"{DATA}_hits")
-        self._tlb_hits = stats.counter(f"{TLB}_hits")
-        self._data_misses = stats.counter(f"{DATA}_misses")
-        self._tlb_misses = stats.counter(f"{TLB}_misses")
-        self._data_fills = stats.counter(f"{DATA}_fills")
-        self._tlb_fills = stats.counter(f"{TLB}_fills")
-        self._data_evictions = stats.counter(f"{DATA}_evictions")
-        self._tlb_evictions = stats.counter(f"{TLB}_evictions")
 
     # -- geometry ---------------------------------------------------------
 
     def _index_tag(self, address: int) -> Tuple[int, int]:
         line = address >> self._line_shift
-        return line & self._set_mask, line >> self._set_shift
+        return line & self._set_mask, line >> addr.ilog2(self._num_sets)
 
     @property
     def latency(self) -> int:
@@ -87,25 +68,18 @@ class SetAssociativeCache:
 
     def lookup(self, address: int, kind: str = DATA) -> bool:
         """Probe for the line holding ``address``; updates recency on hit."""
-        line = address >> self._line_shift
-        tags = self._tags[line & self._set_mask]
-        tag = line >> self._set_shift
-        if tag in tags:
-            slot = self._data_hits if kind == DATA else self._tlb_hits
-            slot.value += 1
-            slot.touched = True
-            if next(reversed(tags)) != tag:
-                tags[tag] = tags.pop(tag)  # move to most-recent position
-            return True
-        slot = self._data_misses if kind == DATA else self._tlb_misses
-        slot.value += 1
-        slot.touched = True
-        return False
+        set_idx, tag = self._index_tag(address)
+        tags = self._tags[set_idx]
+        hit = tag in tags
+        self.stats.inc(f"{kind}_hits" if hit else f"{kind}_misses")
+        if hit:
+            self._lru[set_idx].touch(tag)
+        return hit
 
     def contains(self, address: int) -> bool:
         """Presence check with no side effects (no recency, no stats)."""
-        line = address >> self._line_shift
-        return (line >> self._set_shift) in self._tags[line & self._set_mask]
+        set_idx, tag = self._index_tag(address)
+        return tag in self._tags[set_idx]
 
     def fill(self, address: int, kind: str = DATA,
              dirty: bool = False) -> Optional[int]:
@@ -116,41 +90,30 @@ class SetAssociativeCache:
         After the call, :attr:`last_evicted_dirty` says whether the
         evicted line (if any) held unwritten-back data.
         """
-        line = address >> self._line_shift
-        set_idx = line & self._set_mask
+        set_idx, tag = self._index_tag(address)
         tags = self._tags[set_idx]
-        tag = line >> self._set_shift
+        lru = self._lru[set_idx]
         evicted: Optional[int] = None
         self.last_evicted_dirty = False
-        if tag in tags:
-            del tags[tag]  # the re-insert below refreshes recency
-        elif len(tags) >= self._ways:
-            if self.tlb_priority:
-                victim = self._select_victim(set_idx)
-            else:
-                victim = next(iter(tags))  # oldest
+        if tag not in tags and len(tags) >= self.config.ways:
+            victim = self._select_victim(set_idx)
             victim_kind = tags.pop(victim)
-            slot = (self._data_evictions if victim_kind == DATA
-                    else self._tlb_evictions)
-            slot.value += 1
-            slot.touched = True
-            evicted = ((victim << self._set_shift) | set_idx) << self._line_shift
-            if self._dirty and (set_idx, victim) in self._dirty:
+            lru.remove(victim)
+            self.stats.inc(f"{victim_kind}_evictions")
+            evicted = self._line_address(set_idx, victim)
+            if (set_idx, victim) in self._dirty:
                 self._dirty.discard((set_idx, victim))
                 self.last_evicted_dirty = True
         tags[tag] = kind
+        lru.touch(tag)
         if dirty:
             self._dirty.add((set_idx, tag))
-        slot = self._data_fills if kind == DATA else self._tlb_fills
-        slot.value += 1
-        slot.touched = True
+        self.stats.inc(f"{kind}_fills")
         return evicted
 
     def mark_dirty(self, address: int) -> bool:
         """Flag the resident line holding ``address`` as modified."""
-        line = address >> self._line_shift
-        set_idx = line & self._set_mask
-        tag = line >> self._set_shift
+        set_idx, tag = self._index_tag(address)
         if tag in self._tags[set_idx]:
             self._dirty.add((set_idx, tag))
             return True
@@ -162,34 +125,34 @@ class SetAssociativeCache:
         return (set_idx, tag) in self._dirty
 
     def _select_victim(self, set_idx: int) -> int:
-        tags = self._tags[set_idx]
+        lru = self._lru[set_idx]
         if not self.tlb_priority:
-            return next(iter(tags))  # oldest
-        for tag, kind in tags.items():  # oldest first
-            if kind == DATA:
+            return lru.victim()
+        tags = self._tags[set_idx]
+        for tag in lru.keys():  # oldest first
+            if tags[tag] == DATA:
                 return tag
-        return next(iter(tags))
+        return lru.victim()
 
     def _line_address(self, set_idx: int, tag: int) -> int:
-        line = (tag << self._set_shift) | set_idx
+        line = (tag << addr.ilog2(self._num_sets)) | set_idx
         return line << self._line_shift
 
     def invalidate(self, address: int) -> bool:
         """Drop the line holding ``address`` if present."""
-        line = address >> self._line_shift
-        set_idx = line & self._set_mask
-        tags = self._tags[set_idx]
-        tag = line >> self._set_shift
-        if tag in tags:
-            del tags[tag]
-            if self._dirty:
-                self._dirty.discard((set_idx, tag))
+        set_idx, tag = self._index_tag(address)
+        if tag in self._tags[set_idx]:
+            del self._tags[set_idx][tag]
+            self._lru[set_idx].remove(tag)
+            self._dirty.discard((set_idx, tag))
             return True
         return False
 
     def flush(self) -> None:
         """Empty the whole cache."""
-        for tags in self._tags:
+        for tags, lru in zip(self._tags, self._lru):
+            for tag in list(tags):
+                lru.remove(tag)
             tags.clear()
         self._dirty.clear()
 

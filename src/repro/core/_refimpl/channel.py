@@ -10,13 +10,13 @@ corner cases.
 
 from __future__ import annotations
 
-from ..common import addr
-from ..common.config import DramTimingConfig
-from ..common.stats import StatGroup
-from ..obs import events
-from ..obs.tracer import NULL_TRACER
+from ...common import addr
+from ...common.config import DramTimingConfig
+from ...common.stats import StatGroup
+from ...obs import events
+from ...obs.tracer import NULL_TRACER
 from .bank import DramBank
-from .mapping import AddressMapper
+from ...dram.mapping import AddressMapper
 
 
 class DramChannel:
@@ -34,17 +34,6 @@ class DramChannel:
         #: Optional latency histogram (set by Observability on the
         #: stacked-DRAM channel); None keeps the hot path untouched.
         self.histogram = None
-        # Hot-path constants: the address decomposition (mirrors
-        # ``self.mapper``), the cache-line burst cost, the clock-domain
-        # ratio and resolved counter slots.
-        self._row_shift = addr.ilog2(timing.row_buffer_bytes)
-        self._bank_mask = timing.banks - 1
-        self._bank_bits = addr.ilog2(timing.banks)
-        self._controller_cycles = timing.controller_cycles
-        self._line_burst = self._burst_cycles(addr.CACHE_LINE_SIZE)
-        self._bus_mhz = timing.bus_mhz
-        self._accesses = stats.counter("accesses")
-        self._bytes = stats.counter("bytes")
 
     def _burst_cycles(self, nbytes: int) -> int:
         """Bus cycles to move ``nbytes`` over a double-data-rate bus."""
@@ -53,31 +42,24 @@ class DramChannel:
 
     def access(self, paddr: int, nbytes: int = addr.CACHE_LINE_SIZE) -> int:
         """Read/write ``nbytes`` at ``paddr``; returns CPU-cycle latency."""
-        block = paddr >> self._row_shift
-        bank_idx = block & self._bank_mask
-        row = block >> self._bank_bits
-        bank = self._banks[bank_idx]
+        coord = self.mapper.map(paddr)
+        bank = self._banks[coord.bank]
         tracing = self.trace.active
         if tracing:
             open_row = bank.open_row
-            outcome = ("hit" if open_row == row
+            outcome = ("hit" if open_row == coord.row
                        else "miss" if open_row is None else "conflict")
-        burst = (self._line_burst if nbytes == addr.CACHE_LINE_SIZE
-                 else self._burst_cycles(nbytes))
-        bus_cycles = self._controller_cycles + bank.access(row) + burst
-        slot = self._accesses
-        slot.value += 1
-        slot.touched = True
-        slot = self._bytes
-        slot.value += nbytes
-        slot.touched = True
-        # Inline of DramTimingConfig.cpu_cycles (ceiling division).
-        cycles = -(-bus_cycles * self.cpu_mhz // self._bus_mhz)
+        bus_cycles = (self.timing.controller_cycles
+                      + bank.access(coord.row)
+                      + self._burst_cycles(nbytes))
+        self.stats.inc("accesses")
+        self.stats.inc("bytes", nbytes)
+        cycles = self.timing.cpu_cycles(bus_cycles, self.cpu_mhz)
         if self.histogram is not None:
             self.histogram.record(cycles)
         if tracing:
             self.trace.emit(events.DRAM_ACCESS, cycles=cycles,
-                            bank=bank_idx, row=row, outcome=outcome)
+                            bank=coord.bank, row=coord.row, outcome=outcome)
         return cycles
 
     def row_buffer_hit_rate(self) -> float:

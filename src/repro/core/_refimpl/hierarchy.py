@@ -19,11 +19,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..common.config import SystemConfig
-from ..common.stats import StatRegistry
-from ..dram import DramChannel
+from ...common.config import SystemConfig
+from ...common.stats import StatRegistry
+from .channel import DramChannel
 from .cache import DATA, TLB, SetAssociativeCache
-from .dram_cache import DramDataCache
+from ...cache.dram_cache import DramDataCache
 
 
 class CacheHierarchy:
@@ -51,17 +51,6 @@ class CacheHierarchy:
                 config.cpu_mhz, stats.group("l4_cache"))
         self._writeback = config.writeback_modeling
         self._wb_stats = stats.group("writebacks")
-        # Load-to-use latencies, hoisted off the per-access path.
-        self._l1_latency = config.l1d.latency_cycles
-        self._l2_latency = config.l2d.latency_cycles
-        self._l3_latency = config.l3d.latency_cycles
-        # Every SRAM cache, for invalidate_line (POM-TLB set shootdowns
-        # hit this once per insert; rebuilding the list there is waste).
-        self._all_caches = tuple(self._l1 + self._l2 + [self._l3])
-        # POM-TLB lines enter the SRAM caches only through
-        # tlb_line_fill / tlb_line_probe — a per-core L2 plus the shared
-        # L3 — so L1s and the L4 can never hold one and need no probe.
-        self._tlb_line_caches = tuple(self._l2) + (self._l3,)
 
     # -- component access ---------------------------------------------------
 
@@ -102,27 +91,19 @@ class CacheHierarchy:
         if l1.lookup(paddr, DATA):
             if wb and is_write:
                 l1.mark_dirty(paddr)
-            return self._l1_latency
+            return l1.latency
         if l2.lookup(paddr, DATA):
-            if wb:
-                if is_write:
-                    l2.mark_dirty(paddr)
-                self._fill_l1(core, paddr, dirty=is_write)
-            else:
-                l1.fill(paddr, DATA)
-            return self._l2_latency
-        l3 = self._l3
-        if l3.lookup(paddr, DATA):
-            if wb:
-                if is_write:
-                    l3.mark_dirty(paddr)
-                self._fill_l2(core, paddr, dirty=False)
-                self._fill_l1(core, paddr, dirty=is_write)
-            else:
-                l2.fill(paddr, DATA)
-                l1.fill(paddr, DATA)
-            return self._l3_latency
-        cycles = self._l3_latency
+            if wb and is_write:
+                l2.mark_dirty(paddr)
+            self._fill_l1(core, paddr, dirty=wb and is_write)
+            return l2.latency
+        if self._l3.lookup(paddr, DATA):
+            if wb and is_write:
+                self._l3.mark_dirty(paddr)
+            self._fill_l2(core, paddr, dirty=False)
+            self._fill_l1(core, paddr, dirty=wb and is_write)
+            return self._l3.latency
+        cycles = self._l3.latency
         if self._l4 is not None:
             probe = self._l4.access(paddr)
             if probe.hit:
@@ -135,14 +116,9 @@ class CacheHierarchy:
                 self._l4.fill(paddr)
         else:
             cycles += self._dram.access(paddr)
-        if wb:
-            self._fill_l3(paddr, dirty=False)
-            self._fill_l2(core, paddr, dirty=False)
-            self._fill_l1(core, paddr, dirty=is_write)
-        else:
-            l3.fill(paddr, DATA)
-            l2.fill(paddr, DATA)
-            l1.fill(paddr, DATA)
+        self._fill_l3(paddr, dirty=False)
+        self._fill_l2(core, paddr, dirty=False)
+        self._fill_l1(core, paddr, dirty=wb and is_write)
         return cycles
 
     # -- write-back plumbing (active only with writeback_modeling) -----------
@@ -227,17 +203,7 @@ class CacheHierarchy:
 
     def invalidate_line(self, paddr: int) -> None:
         """Drop a line everywhere (TLB shootdown of a cached set)."""
-        for cache in self._all_caches:
+        for cache in self._l1 + self._l2 + [self._l3]:
             cache.invalidate(paddr)
         if self._l4 is not None:
             self._l4.invalidate(paddr)
-
-    def invalidate_tlb_line(self, paddr: int) -> None:
-        """Drop a stale POM-TLB line (insert or shootdown).
-
-        Behaviour-identical to :meth:`invalidate_line` for these
-        addresses: only the L2s and the L3 can hold a TLB line, so the
-        L1/L4 probes it skips are always no-ops.
-        """
-        for cache in self._tlb_line_caches:
-            cache.invalidate(paddr)

@@ -1,0 +1,155 @@
+"""2-D nested page-table walk (paper Figure 1: up to 24 memory references).
+
+In virtualized mode a guest-virtual address is translated by walking the
+guest table (gVA -> gPA), but every guest-table pointer is itself a
+guest-physical address that must be translated through the host table
+(gPA -> hPA) before the guest PTE can be fetched.  Cold, that is
+4 guest levels x (4 host refs + 1 guest ref) + 4 host refs for the final
+data gPA = **24 references**.
+
+Acceleration modelled, matching the baseline hardware the paper measures:
+
+* a **host PSC** inside each host-dimension walk,
+* a **combined guest PSC** whose entries map a gVA prefix directly to the
+  *host-physical* base of the guest table, skipping both the guest upper
+  levels and their nested host walks, and
+* PTE caching in the data caches (via the ``pte_access`` callback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...common import addr
+from ...common.errors import AddressError
+from ...common.stats import StatGroup
+from ...obs import events
+from ...obs.tracer import NULL_TRACER
+from .page_table import LeafMapping, RadixPageTable
+from .walk_cache import PagingStructureCache
+from .walker import PteAccess
+
+#: Worst-case reference count of one nested walk (paper Figure 1).
+MAX_NESTED_REFS = 24
+
+
+@dataclass(frozen=True)
+class NestedOutcome:
+    """Result of a nested walk: the end-to-end gVA -> hPA mapping."""
+
+    cycles: int
+    memory_refs: int
+    host_frame: int   # host-physical frame of the guest page
+    large: bool       # effective page size (guest size, host backs it)
+
+    def translate(self, gva: int) -> int:
+        return self.host_frame | addr.page_offset(gva, self.large)
+
+
+class NestedWalker:
+    """Walks guest and host tables, issuing every nested memory reference."""
+
+    def __init__(self, guest_table: RadixPageTable, host_table: RadixPageTable,
+                 guest_psc: PagingStructureCache, host_psc: PagingStructureCache,
+                 pte_access: PteAccess, stats: StatGroup,
+                 tracer=NULL_TRACER) -> None:
+        self.guest_table = guest_table
+        self.host_table = host_table
+        self.guest_psc = guest_psc
+        self.host_psc = host_psc
+        self._pte_access = pte_access
+        self.stats = stats
+        self.trace = tracer
+
+    # -- host dimension ----------------------------------------------------------
+
+    def host_translate(self, gpa: int) -> Tuple[int, int, int]:
+        """Translate a guest-physical address through the host table.
+
+        Returns ``(hpa, cycles, memory_refs)``.  This is one column of
+        the paper's Figure 1 grid.
+        """
+        start_level, table_base, cycles = self.host_psc.lookup(gpa)
+        try:
+            if table_base is None:
+                steps, leaf = self.host_table.walk(gpa)
+            else:
+                steps, leaf = self.host_table.walk_from(gpa, start_level, table_base)
+        except AddressError:
+            self.stats.inc("host_psc_stale")
+            self.host_psc.invalidate(gpa)
+            steps, leaf = self.host_table.walk(gpa)
+        tr = self.trace
+        refs = 0
+        for step in steps:
+            step_cycles = self._pte_access(step.pte_paddr)
+            cycles += step_cycles
+            refs += 1
+            if tr.active:
+                tr.emit(events.WALK_STEP, cycles=step_cycles, dim="host",
+                        level=step.level)
+        deepest = 2 if leaf.large else 1
+        for level in range(deepest, addr.RADIX_LEVELS):
+            base = self.host_table.table_base(gpa, level)
+            if base is not None:
+                self.host_psc.fill(gpa, level, base)
+        return leaf.translate(gpa), cycles, refs
+
+    # -- full 2-D walk ------------------------------------------------------
+
+    def walk(self, gva: int) -> NestedOutcome:
+        """Translate ``gva`` end to end (gVA -> gPA -> hPA)."""
+        start_level, cached, cycles = self.guest_psc.lookup(gva)
+        try:
+            if cached is None:
+                steps, leaf = self.guest_table.walk(gva)
+            else:
+                gpa_base, _hpa_base = cached
+                steps, leaf = self.guest_table.walk_from(gva, start_level, gpa_base)
+        except AddressError:
+            self.stats.inc("guest_psc_stale")
+            self.guest_psc.invalidate(gva)
+            cached = None
+            steps, leaf = self.guest_table.walk(gva)
+        tr = self.trace
+        total_refs = 0
+        for position, step in enumerate(steps):
+            if position == 0 and cached is not None:
+                # Combined-PSC hit: the host address of this guest table
+                # is cached, no nested host walk for it.
+                gpa_base, hpa_base = cached
+                pte_hpa = hpa_base + (step.pte_paddr - gpa_base)
+            else:
+                pte_hpa, host_cycles, host_refs = self.host_translate(step.pte_paddr)
+                cycles += host_cycles
+                total_refs += host_refs
+            step_cycles = self._pte_access(pte_hpa)
+            cycles += step_cycles
+            total_refs += 1
+            if tr.active:
+                tr.emit(events.WALK_STEP, cycles=step_cycles, dim="guest",
+                        level=step.level)
+        # Final column: translate the data page's gPA through the host.
+        gpa_page = leaf.frame
+        host_frame_addr, host_cycles, host_refs = self.host_translate(gpa_page)
+        cycles += host_cycles
+        total_refs += host_refs
+        self._refill_guest_psc(gva, leaf)
+        self.stats.inc("nested_walks")
+        self.stats.inc("nested_cycles", cycles)
+        self.stats.inc("nested_refs", total_refs)
+        return NestedOutcome(cycles=cycles, memory_refs=total_refs,
+                             host_frame=host_frame_addr, large=leaf.large)
+
+    def _refill_guest_psc(self, gva: int, leaf: LeafMapping) -> None:
+        """Refill the combined cache with (gPA, hPA) guest-table bases."""
+        deepest = 2 if leaf.large else 1
+        for level in range(deepest, addr.RADIX_LEVELS):
+            gpa_base = self.guest_table.table_base(gva, level)
+            if gpa_base is None:
+                continue
+            hpa_leaf = self.host_table.lookup(gpa_base)
+            if hpa_leaf is None:
+                continue
+            self.guest_psc.fill(gva, level, (gpa_base, hpa_leaf.translate(gpa_base)))

@@ -15,36 +15,25 @@ caches and DRAM.
 
 Levels follow the paper's Figure 1 numbering: level 4 = PML4 (root),
 3 = PDPT, 2 = PD, 1 = PT.  A 2 MiB mapping terminates at level 2.
-
-This module is on the nested-walk hot path (a cold 2-D walk touches up
-to 24 table entries), so the per-level index extraction is inlined and
-the walk results are NamedTuples; behaviour is bit-identical to the
-frozen reference copy in :mod:`repro.core._refimpl.page_table`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..common import addr
-from ..common.errors import AddressError, TranslationFault
+from ...common import addr
+from ...common.errors import AddressError, TranslationFault
 
 PTE_BYTES = 8
-
-#: VA shift of the 9-bit index at each level (index 0 unused).
-_LEVEL_SHIFT = tuple(
-    None if level == 0
-    else addr.SMALL_PAGE_SHIFT + addr.RADIX_LEVEL_BITS * (level - 1)
-    for level in range(addr.RADIX_LEVELS + 1))
-_INDEX_MASK = addr.ENTRIES_PER_TABLE - 1
-_ROOT_LEVEL = addr.RADIX_LEVELS
 
 #: signature of a frame allocator: returns the base address of a fresh
 #: 4 KiB frame in the table's output address space.
 FrameAllocator = Callable[[], int]
 
 
-class LeafMapping(NamedTuple):
+@dataclass(frozen=True)
+class LeafMapping:
     """Result of a successful walk: the mapped frame and its size."""
 
     frame: int  # frame base address in the output address space
@@ -55,7 +44,8 @@ class LeafMapping(NamedTuple):
         return self.frame | addr.page_offset(vaddr, self.large)
 
 
-class WalkStep(NamedTuple):
+@dataclass(frozen=True)
+class WalkStep:
     """One memory reference of a table walk."""
 
     level: int       # 4 = PML4 .. 1 = PT
@@ -85,11 +75,6 @@ class RadixPageTable:
         self._root = _TableNode(self._alloc())
         self._mapped_small = 0
         self._mapped_large = 0
-        # Memoized complete table_bases() descents.  Safe because table
-        # nodes are never deleted or relocated (unmap_page removes only
-        # leaves; map_page reuses existing nodes), so a complete
-        # (level, base) list for a VA prefix can never change.
-        self._bases_memo: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
 
     @property
     def root_base(self) -> int:
@@ -110,8 +95,8 @@ class RadixPageTable:
                 f"frame {frame:#x} not aligned to {'2MiB' if large else '4KiB'}")
         leaf_level = 2 if large else 1
         node = self._root
-        for level in range(_ROOT_LEVEL, leaf_level, -1):
-            index = (vaddr >> _LEVEL_SHIFT[level]) & _INDEX_MASK
+        for level in range(addr.RADIX_LEVELS, leaf_level, -1):
+            index = addr.radix_index(vaddr, level)
             if index in node.leaves:
                 raise AddressError(
                     f"{self.name}: VA {vaddr:#x} already covered by a large page")
@@ -120,7 +105,7 @@ class RadixPageTable:
                 child = _TableNode(self._alloc())
                 node.children[index] = child
             node = child
-        index = (vaddr >> _LEVEL_SHIFT[leaf_level]) & _INDEX_MASK
+        index = addr.radix_index(vaddr, leaf_level)
         if large and index in node.children:
             raise AddressError(
                 f"{self.name}: VA {vaddr:#x} already covered by small pages")
@@ -135,11 +120,11 @@ class RadixPageTable:
         """Remove the leaf for the page containing ``vaddr``."""
         leaf_level = 2 if large else 1
         node = self._root
-        for level in range(_ROOT_LEVEL, leaf_level, -1):
-            node = node.children.get((vaddr >> _LEVEL_SHIFT[level]) & _INDEX_MASK)
+        for level in range(addr.RADIX_LEVELS, leaf_level, -1):
+            node = node.children.get(addr.radix_index(vaddr, level))
             if node is None:
                 return False
-        index = (vaddr >> _LEVEL_SHIFT[leaf_level]) & _INDEX_MASK
+        index = addr.radix_index(vaddr, leaf_level)
         if index in node.leaves:
             del node.leaves[index]
             if large:
@@ -156,7 +141,7 @@ class RadixPageTable:
 
         Raises :class:`TranslationFault` when the address is unmapped.
         """
-        return self.walk_from(vaddr, _ROOT_LEVEL, self._root.base)
+        return self.walk_from(vaddr, addr.RADIX_LEVELS, self._root.base)
 
     def walk_from(self, vaddr: int, start_level: int,
                   table_base: int) -> Tuple[List[WalkStep], LeafMapping]:
@@ -165,30 +150,22 @@ class RadixPageTable:
         ``table_base`` must be the base of the level-``start_level`` table
         covering ``vaddr`` — i.e. what the PSC cached.
         """
-        name = self.name
-        node = self._root
-        for level in range(_ROOT_LEVEL, start_level, -1):
-            node = node.children.get((vaddr >> _LEVEL_SHIFT[level]) & _INDEX_MASK)
-            if node is None:
-                raise TranslationFault(vaddr, space=name)
-        if node.base != table_base:
-            raise AddressError(
-                f"{name}: stale table base {table_base:#x} at level {start_level}")
+        node = self._node_at(vaddr, start_level, table_base)
         steps: List[WalkStep] = []
-        append = steps.append
         level = start_level
         while True:
-            index = (vaddr >> _LEVEL_SHIFT[level]) & _INDEX_MASK
-            append(WalkStep(level, node.base + PTE_BYTES * index))
+            index = addr.radix_index(vaddr, level)
+            steps.append(WalkStep(level=level, pte_paddr=node.entry_paddr(index)))
             leaf = node.leaves.get(index)
             if leaf is not None:
-                if level != (2 if leaf.large else 1):
+                if (leaf.large and level != 2) or (not leaf.large and level != 1):
                     raise AddressError(
-                        f"{name}: leaf at wrong level {level}")
+                        f"{self.name}: leaf at wrong level {level}")
                 return steps, leaf
-            node = node.children.get(index)
-            if node is None:
-                raise TranslationFault(vaddr, space=name)
+            child = node.children.get(index)
+            if child is None:
+                raise TranslationFault(vaddr, space=self.name)
+            node = child
             level -= 1
 
     def table_base(self, vaddr: int, level: int) -> Optional[int]:
@@ -200,49 +177,30 @@ class RadixPageTable:
         the root, which needs no cache).
         """
         node = self._root
-        for lvl in range(_ROOT_LEVEL, level, -1):
-            node = node.children.get((vaddr >> _LEVEL_SHIFT[lvl]) & _INDEX_MASK)
+        for lvl in range(addr.RADIX_LEVELS, level, -1):
+            node = node.children.get(addr.radix_index(vaddr, lvl))
             if node is None:
                 return None
         return node.base
 
-    def table_bases(self, vaddr: int, min_level: int) -> List[Tuple[int, int]]:
-        """``(level, base)`` of every covering table, level 3 down to
-        ``min_level``, in one descent.
-
-        Equivalent to calling :meth:`table_base` once per level (levels
-        whose covering table does not exist are skipped), but walks the
-        tree once instead of once per level — the PSC-refill loops of
-        the walkers call this after every page walk.  Results are in
-        ascending level order.
-        """
-        memo_key = (vaddr >> _LEVEL_SHIFT[min_level + 1], min_level)
-        bases = self._bases_memo.get(memo_key)
-        if bases is not None:
-            return bases
-        bases = []
+    def _node_at(self, vaddr: int, level: int, expected_base: int) -> _TableNode:
         node = self._root
-        for lvl in range(_ROOT_LEVEL, min_level, -1):
-            node = node.children.get((vaddr >> _LEVEL_SHIFT[lvl]) & _INDEX_MASK)
+        for lvl in range(addr.RADIX_LEVELS, level, -1):
+            node = node.children.get(addr.radix_index(vaddr, lvl))
             if node is None:
-                break
-            bases.append((lvl - 1, node.base))
-        bases.reverse()
-        if len(bases) == _ROOT_LEVEL - min_level:
-            # Complete down to min_level: every node on the path exists
-            # and node bases are immutable, so this can be cached.
-            # Partial results could grow as tables are created; those
-            # are recomputed (they only occur off the post-walk path).
-            self._bases_memo[memo_key] = bases
-        return bases
+                raise TranslationFault(vaddr, space=self.name)
+        if node.base != expected_base:
+            raise AddressError(
+                f"{self.name}: stale table base {expected_base:#x} at level {level}")
+        return node
 
     # -- functional lookup (no timing) ----------------------------------------
 
     def lookup(self, vaddr: int) -> Optional[LeafMapping]:
         """Translate without recording steps; ``None`` when unmapped."""
         node = self._root
-        for level in range(_ROOT_LEVEL, 0, -1):
-            index = (vaddr >> _LEVEL_SHIFT[level]) & _INDEX_MASK
+        for level in range(addr.RADIX_LEVELS, 0, -1):
+            index = addr.radix_index(vaddr, level)
             leaf = node.leaves.get(index)
             if leaf is not None:
                 return leaf

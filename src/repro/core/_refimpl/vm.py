@@ -1,0 +1,182 @@
+"""Virtual machines, guest processes and demand paging.
+
+The :class:`Host` owns physical memory and the virtual machines.  Each
+:class:`VirtualMachine` owns a guest-physical address space, a host page
+table (gPA -> hPA, the EPT analogue) and its guest processes; each
+:class:`GuestProcess` owns a guest page table (gVA -> gPA).
+
+Pages are mapped on first touch (demand paging): touching a virtual
+address allocates the guest-physical and host-physical frames, decides
+the page size via the THP policy, and installs both table levels.  The
+fast :meth:`VirtualMachine.resolve` path is O(1) dict lookups so the
+simulator can call it per memory reference.
+
+:class:`NativeProcess` models the bare-metal case (one table, VA -> hPA)
+for the paper's native-vs-virtualized characterisation (Figures 2/3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional
+
+from ...common import addr
+from .page_table import RadixPageTable
+from ...vmm.memory_manager import PhysicalMemory
+from ...vmm.thp import ThpPolicy
+
+
+class ResolvedPage(NamedTuple):
+    """Fast-path result: everything the MMU needs about one page."""
+
+    large: bool
+    guest_frame: int  # gPA frame base (== host frame in native mode)
+    host_frame: int   # hPA frame base
+
+
+class GuestProcess:
+    """One process inside a VM: an ASID and a guest page table."""
+
+    def __init__(self, asid: int, guest_table: RadixPageTable) -> None:
+        self.asid = asid
+        self.guest_table = guest_table
+        # Fast-path maps; keyed by small/large VPN respectively.
+        self.small_pages: Dict[int, ResolvedPage] = {}
+        self.large_pages: Dict[int, ResolvedPage] = {}
+
+    def resolve(self, vaddr: int) -> Optional[ResolvedPage]:
+        """O(1) lookup of the page backing ``vaddr`` (None if untouched)."""
+        page = self.large_pages.get(vaddr >> addr.LARGE_PAGE_SHIFT)
+        if page is not None:
+            return page
+        return self.small_pages.get(vaddr >> addr.SMALL_PAGE_SHIFT)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return (len(self.small_pages) * addr.SMALL_PAGE_SIZE
+                + len(self.large_pages) * addr.LARGE_PAGE_SIZE)
+
+
+class VirtualMachine:
+    """One VM: guest-physical space, host (EPT) table, guest processes."""
+
+    def __init__(self, vm_id: int, host_memory: PhysicalMemory,
+                 thp: ThpPolicy) -> None:
+        self.vm_id = vm_id
+        self.host_memory = host_memory
+        self.thp = thp
+        # Guest-physical space: sized generously; addresses are fictive.
+        self.guest_memory = PhysicalMemory(base=0, size_bytes=256 * addr.GiB)
+        self.host_table = RadixPageTable(host_memory.alloc_small,
+                                         name=f"vm{vm_id}.host")
+        self.processes: Dict[int, GuestProcess] = {}
+
+    # -- process management -----------------------------------------------
+
+    def process(self, asid: int) -> GuestProcess:
+        """Return (creating on first use) the guest process ``asid``."""
+        proc = self.processes.get(asid)
+        if proc is None:
+            guest_table = RadixPageTable(self._alloc_guest_table_frame,
+                                         name=f"vm{self.vm_id}.guest{asid}")
+            proc = GuestProcess(asid, guest_table)
+            self.processes[asid] = proc
+        return proc
+
+    def _alloc_guest_table_frame(self) -> int:
+        """Guest page-table frames live in gPA space and are host-mapped."""
+        gpa = self.guest_memory.alloc_frame(large=False)
+        hpa = self.host_memory.alloc_frame(large=False)
+        self.host_table.map_page(gpa, hpa, large=False)
+        return gpa
+
+    # -- demand paging ---------------------------------------------------
+
+    def touch(self, asid: int, vaddr: int) -> ResolvedPage:
+        """Ensure the page containing ``vaddr`` is fully mapped."""
+        proc = self.process(asid)
+        page = proc.resolve(vaddr)
+        if page is not None:
+            return page
+        large = self.thp.is_large_region(asid, vaddr >> addr.LARGE_PAGE_SHIFT)
+        gpa_frame = self.guest_memory.alloc_frame(large=large)
+        hpa_frame = self.host_memory.alloc_frame(large=large)
+        proc.guest_table.map_page(vaddr, gpa_frame, large=large)
+        self.host_table.map_page(gpa_frame, hpa_frame, large=large)
+        page = ResolvedPage(large=large, guest_frame=gpa_frame, host_frame=hpa_frame)
+        if large:
+            proc.large_pages[vaddr >> addr.LARGE_PAGE_SHIFT] = page
+        else:
+            proc.small_pages[vaddr >> addr.SMALL_PAGE_SHIFT] = page
+        return page
+
+    def resolve(self, asid: int, vaddr: int) -> Optional[ResolvedPage]:
+        """Fast path: the already-mapped page for ``vaddr`` or None."""
+        proc = self.processes.get(asid)
+        if proc is None:
+            return None
+        return proc.resolve(vaddr)
+
+    def unmap(self, asid: int, vaddr: int) -> Optional[ResolvedPage]:
+        """Remove a mapping (the shootdown trigger).  Returns what was mapped."""
+        proc = self.processes.get(asid)
+        if proc is None:
+            return None
+        page = proc.resolve(vaddr)
+        if page is None:
+            return None
+        proc.guest_table.unmap_page(vaddr, large=page.large)
+        if page.large:
+            del proc.large_pages[vaddr >> addr.LARGE_PAGE_SHIFT]
+        else:
+            del proc.small_pages[vaddr >> addr.SMALL_PAGE_SHIFT]
+        return page
+
+
+class NativeProcess:
+    """Bare-metal process: one page table straight to host-physical frames."""
+
+    def __init__(self, asid: int, host_memory: PhysicalMemory,
+                 thp: ThpPolicy) -> None:
+        self.asid = asid
+        self.host_memory = host_memory
+        self.thp = thp
+        self.page_table = RadixPageTable(host_memory.alloc_small,
+                                         name=f"native{asid}")
+        self.small_pages: Dict[int, ResolvedPage] = {}
+        self.large_pages: Dict[int, ResolvedPage] = {}
+
+    def touch(self, vaddr: int) -> ResolvedPage:
+        """Ensure the page containing ``vaddr`` is mapped."""
+        page = self.resolve(vaddr)
+        if page is not None:
+            return page
+        large = self.thp.is_large_region(self.asid, vaddr >> addr.LARGE_PAGE_SHIFT)
+        frame = self.host_memory.alloc_frame(large=large)
+        self.page_table.map_page(vaddr, frame, large=large)
+        page = ResolvedPage(large=large, guest_frame=frame, host_frame=frame)
+        if large:
+            self.large_pages[vaddr >> addr.LARGE_PAGE_SHIFT] = page
+        else:
+            self.small_pages[vaddr >> addr.SMALL_PAGE_SHIFT] = page
+        return page
+
+    def resolve(self, vaddr: int) -> Optional[ResolvedPage]:
+        page = self.large_pages.get(vaddr >> addr.LARGE_PAGE_SHIFT)
+        if page is not None:
+            return page
+        return self.small_pages.get(vaddr >> addr.SMALL_PAGE_SHIFT)
+
+
+class Host:
+    """Top level: host physical memory plus the virtual machines on it."""
+
+    def __init__(self, memory_bytes: int = 64 * addr.GiB) -> None:
+        self.memory = PhysicalMemory(base=0, size_bytes=memory_bytes)
+        self.vms: Dict[int, VirtualMachine] = {}
+
+    def create_vm(self, vm_id: int, thp: ThpPolicy) -> VirtualMachine:
+        if vm_id in self.vms:
+            raise ValueError(f"vm {vm_id} already exists")
+        vm = VirtualMachine(vm_id, self.memory, thp)
+        self.vms[vm_id] = vm
+        return vm

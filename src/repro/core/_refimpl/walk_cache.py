@@ -1,0 +1,120 @@
+"""Paging-structure caches (PSCs) — the MMU caches of Table 1.
+
+A PSC entry caches, for a VA prefix, the base address of the
+**next-level table**, letting the walker skip the upper levels of the
+radix tree:
+
+* PML4 cache: VA[47:39] -> level-3 (PDPT) table base  (skips 1 access)
+* PDP cache:  VA[47:30] -> level-2 (PD) table base    (skips 2 accesses)
+* PDE cache:  VA[47:21] -> level-1 (PT) table base    (skips 3 accesses)
+
+In virtualized mode the same structure is used as a *combined* cache:
+the cached table base is the **host-physical** address of the guest
+table, so a hit also skips the nested host walks of the skipped guest
+levels — matching how real MMU caches interact with EPT.
+
+Capacities follow Table 1 (2 / 4 / 32 entries), fully associative, LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ...common import addr
+from ...common.config import WalkCacheConfig
+from ...common.stats import StatGroup
+
+#: (cache name, entry count attr, VA prefix shift, walk start level on hit)
+_LEVELS = (
+    ("pde", "pde_entries", addr.LARGE_PAGE_SHIFT, 1),         # VA[47:21]
+    ("pdp", "pdp_entries", addr.LARGE_PAGE_SHIFT + 9, 2),     # VA[47:30]
+    ("pml4", "pml4_entries", addr.LARGE_PAGE_SHIFT + 18, 3),  # VA[47:39]
+)
+
+
+class _PrefixCache:
+    """One fully associative LRU cache over VA prefixes."""
+
+    __slots__ = ("capacity", "shift", "_entries")
+
+    def __init__(self, capacity: int, shift: int) -> None:
+        self.capacity = capacity
+        self.shift = shift
+        self._entries: "OrderedDict[int, int]" = OrderedDict()
+
+    def lookup(self, vaddr: int) -> Optional[int]:
+        key = vaddr >> self.shift
+        base = self._entries.get(key)
+        if base is not None:
+            self._entries.move_to_end(key)
+        return base
+
+    def fill(self, vaddr: int, table_base: int) -> None:
+        if self.capacity == 0:
+            return
+        key = vaddr >> self.shift
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = table_base
+
+    def invalidate(self, vaddr: int) -> None:
+        self._entries.pop(vaddr >> self.shift, None)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PagingStructureCache:
+    """The trio of MMU caches consulted before a page walk."""
+
+    def __init__(self, config: WalkCacheConfig, stats: StatGroup) -> None:
+        self.config = config
+        self.stats = stats
+        self._caches = {}
+        for name, attr, shift, start_level in _LEVELS:
+            self._caches[name] = (_PrefixCache(getattr(config, attr), shift),
+                                  start_level)
+
+    def lookup(self, vaddr: int) -> Tuple[int, Optional[int], int]:
+        """Find the deepest cached table for ``vaddr``.
+
+        Returns ``(start_level, table_base, lookup_cycles)``; when nothing
+        hits, ``start_level`` is 4 (walk from the root) and ``table_base``
+        is ``None``.  The cycle cost covers probing the PSC hierarchy.
+        """
+        cycles = self.config.hit_latency_cycles
+        for name, _attr, _shift, _lvl in _LEVELS:  # deepest (pde) first
+            cache, start_level = self._caches[name]
+            base = cache.lookup(vaddr)
+            if base is not None:
+                self.stats.inc(f"{name}_hits")
+                return start_level, base, cycles
+        self.stats.inc("misses")
+        return addr.RADIX_LEVELS, None, cycles
+
+    def fill(self, vaddr: int, level: int, table_base: int) -> None:
+        """Cache the base of the level-``level`` table covering ``vaddr``."""
+        for name, _attr, _shift, start_level in _LEVELS:
+            if start_level == level:
+                self._caches[name][0].fill(vaddr, table_base)
+                return
+        raise ValueError(f"PSCs cache table levels 1..3, got {level}")
+
+    def invalidate(self, vaddr: int) -> None:
+        """Drop every prefix entry covering ``vaddr`` (shootdown)."""
+        for cache, _lvl in self._caches.values():
+            cache.invalidate(vaddr)
+
+    def flush(self) -> None:
+        for cache, _lvl in self._caches.values():
+            cache.flush()
+
+    def sizes(self) -> dict:
+        """Occupancy per sub-cache (tests and debugging)."""
+        return {name: len(cache) for name, (cache, _lvl) in self._caches.items()}

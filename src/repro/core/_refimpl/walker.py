@@ -1,0 +1,84 @@
+"""Native (1-D) hardware page-table walker.
+
+Used directly in bare-metal mode and as the host-dimension helper of the
+nested walker.  Every PTE reference goes through the caller-supplied
+``pte_access`` callback (the data-cache hierarchy), so walk cost reflects
+PTE caching exactly as in the baseline the paper measures against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...common import addr
+from ...common.errors import AddressError
+from ...common.stats import StatGroup
+from ...obs import events
+from ...obs.tracer import NULL_TRACER
+from .page_table import LeafMapping, RadixPageTable
+from .walk_cache import PagingStructureCache
+
+#: PTE access callback: physical address -> CPU cycles.
+PteAccess = Callable[[int], int]
+
+
+@dataclass(frozen=True)
+class WalkOutcome:
+    """Timing and result of one table walk."""
+
+    cycles: int
+    memory_refs: int
+    leaf: LeafMapping
+
+    def translate(self, vaddr: int) -> int:
+        return self.leaf.translate(vaddr)
+
+
+class NativeWalker:
+    """Walks one radix table, accelerated by a paging-structure cache."""
+
+    def __init__(self, page_table: RadixPageTable, psc: PagingStructureCache,
+                 pte_access: PteAccess, stats: StatGroup,
+                 tracer=NULL_TRACER) -> None:
+        self.page_table = page_table
+        self.psc = psc
+        self._pte_access = pte_access
+        self.stats = stats
+        self.trace = tracer
+
+    def walk(self, vaddr: int) -> WalkOutcome:
+        """Translate ``vaddr``; cycles include PSC lookup and PTE accesses."""
+        start_level, table_base, cycles = self.psc.lookup(vaddr)
+        try:
+            if table_base is None:
+                steps, leaf = self.page_table.walk(vaddr)
+            else:
+                steps, leaf = self.page_table.walk_from(vaddr, start_level, table_base)
+        except AddressError:
+            # Stale PSC entry (mapping changed under it): retry from root.
+            self.stats.inc("psc_stale")
+            self.psc.invalidate(vaddr)
+            steps, leaf = self.page_table.walk(vaddr)
+        tr = self.trace
+        refs = 0
+        for step in steps:
+            step_cycles = self._pte_access(step.pte_paddr)
+            cycles += step_cycles
+            refs += 1
+            if tr.active:
+                tr.emit(events.WALK_STEP, cycles=step_cycles, dim="native",
+                        level=step.level)
+        self._refill_psc(vaddr, leaf)
+        self.stats.inc("walks")
+        self.stats.inc("walk_cycles", cycles)
+        self.stats.inc("walk_refs", refs)
+        return WalkOutcome(cycles=cycles, memory_refs=refs, leaf=leaf)
+
+    def _refill_psc(self, vaddr: int, leaf: LeafMapping) -> None:
+        """Cache the table bases this walk discovered (deepest wins next time)."""
+        deepest = 2 if leaf.large else 1
+        for level in range(deepest, addr.RADIX_LEVELS):
+            base = self.page_table.table_base(vaddr, level)
+            if base is not None:
+                self.psc.fill(vaddr, level, base)

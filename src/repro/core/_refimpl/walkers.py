@@ -11,22 +11,23 @@ in native mode they are 1-D against the process's single table.
 
 from __future__ import annotations
 
-from functools import partial
-from typing import Callable, Dict, NamedTuple, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
 
-from ..cache.hierarchy import CacheHierarchy
-from ..common import addr
-from ..common.config import SystemConfig
-from ..common.stats import StatRegistry
-from ..obs import events
-from ..obs.tracer import NULL_TRACER
-from ..paging.nested import NestedWalker
-from ..paging.walk_cache import PagingStructureCache
-from ..paging.walker import NativeWalker
-from ..vmm.vm import Host, NativeProcess
+from .hierarchy import CacheHierarchy
+from ...common import addr
+from ...common.config import SystemConfig
+from ...common.stats import StatRegistry
+from ...obs import events
+from ...obs.tracer import NULL_TRACER
+from .nested import NestedWalker
+from .walk_cache import PagingStructureCache
+from .walker import NativeWalker
+from .vm import Host, NativeProcess
 
 
-class WalkResult(NamedTuple):
+@dataclass(frozen=True)
+class WalkResult:
     """Uniform walk outcome for both walk dimensions."""
 
     cycles: int
@@ -57,10 +58,8 @@ class WalkerPool:
                             Union[NestedWalker, NativeWalker]] = {}
 
     def _pte_access(self, core: int):
-        # Bind data_access directly (pte_access is a pure forwarder);
-        # resolved via getattr so a profiler's per-instance wrapper is
-        # picked up.  partial avoids a Python frame per PTE reference.
-        return partial(self.hierarchy.data_access, core)
+        hierarchy = self.hierarchy
+        return lambda paddr: hierarchy.pte_access(core, paddr)
 
     def _walker_for(self, core: int, vm_id: int,
                     asid: int) -> Union[NestedWalker, NativeWalker]:
@@ -99,22 +98,24 @@ class WalkerPool:
 
     def walk(self, core: int, vm_id: int, asid: int, vaddr: int) -> WalkResult:
         """Perform one page walk; cycles include every PTE reference."""
-        walker = self._walkers.get((core, vm_id, asid))
-        if walker is None:
-            walker = self._walker_for(core, vm_id, asid)
-        outcome = walker.walk(vaddr)
+        walker = self._walker_for(core, vm_id, asid)
         if self.virtualized:
-            result = WalkResult(outcome.cycles, outcome.memory_refs,
-                                outcome.host_frame, outcome.large)
+            outcome = walker.walk(vaddr)
+            result = WalkResult(cycles=outcome.cycles,
+                                memory_refs=outcome.memory_refs,
+                                host_frame=outcome.host_frame,
+                                large=outcome.large)
         else:
-            leaf = outcome.leaf
-            frame = leaf.frame & ~(addr.page_size(leaf.large) - 1)
-            result = WalkResult(outcome.cycles, outcome.memory_refs,
-                                frame, leaf.large)
-        trace = self.trace
-        if trace.active:
-            trace.emit(events.WALK, cycles=result.cycles,
-                       refs=result.memory_refs)
+            outcome = walker.walk(vaddr)
+            frame = (outcome.leaf.frame
+                     & ~(addr.page_size(outcome.leaf.large) - 1))
+            result = WalkResult(cycles=outcome.cycles,
+                                memory_refs=outcome.memory_refs,
+                                host_frame=frame,
+                                large=outcome.leaf.large)
+        if self.trace.active:
+            self.trace.emit(events.WALK, cycles=result.cycles,
+                            refs=result.memory_refs)
         return result
 
     def invalidate(self, vm_id: int, asid: int, vaddr: int) -> None:

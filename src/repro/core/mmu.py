@@ -20,6 +20,16 @@ the cycles spent **after the translation misses the (private) L2 TLB**
 — plus, for Shared_L2, the extra hit latency of the bigger shared array
 relative to a private L2 TLB, since that cost would not exist in the
 baseline.
+
+Hot-path structure: :meth:`TranslationScheme.translate_packed` is the
+per-reference entry point.  It takes a pre-packed software context
+(:func:`repro.tlb.entry.pack_context`, interned per stream by
+``Machine.run``), builds the packed key with two shift-ors, and on the
+L1-hit path (>95 % of references) touches no stats strings, allocates
+nothing, and — when tracing is disabled — never consults the tracer
+beyond one ``enabled`` check.  The traced variant
+(:meth:`_translate_traced`) keeps the seed-era event sequence and, by
+the engine-equivalence test, the exact same counters.
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ from ..common.config import SharedL2Config, SystemConfig, TsbConfig
 from ..common.stats import StatRegistry
 from ..obs import events
 from ..obs.tracer import NULL_TRACER
-from ..tlb.entry import TlbEntry, TlbKey
+from ..tlb.entry import TlbEntry, pack_context, pack_key
 from ..tlb.shared_l2 import SharedLastLevelTlb
 from ..tlb.tlb import SramTlb
 from ..vmm.vm import ResolvedPage
@@ -41,6 +51,11 @@ from .skewed_pom import SkewedPomTlb
 from .predictor import SizeBypassPredictor
 from .tsb import TranslationStorageBuffer
 from .walkers import WalkerPool
+
+_SMALL_SHIFT = addr.SMALL_PAGE_SHIFT  # 12
+_LARGE_SHIFT = addr.LARGE_PAGE_SHIFT  # 21
+_SMALL_MASK = addr.SMALL_PAGE_SIZE - 1
+_LARGE_MASK = addr.LARGE_PAGE_SIZE - 1
 
 
 class TranslationResult(NamedTuple):
@@ -51,9 +66,9 @@ class TranslationResult(NamedTuple):
     penalty: int   # cycles attributed past the L2-TLB-miss point
 
 
-def _key_for(vm_id: int, asid: int, vaddr: int, large: bool) -> TlbKey:
-    return TlbKey(vm_id=vm_id, asid=asid, vpn=vaddr >> addr.page_shift(large),
-                  large=large)
+def _key_for(vm_id: int, asid: int, vaddr: int, large: bool) -> int:
+    """Packed key of the translation covering ``vaddr`` (cold paths)."""
+    return pack_key(vm_id, asid, vaddr >> addr.page_shift(large), large)
 
 
 class _CoreTlbs:
@@ -68,6 +83,11 @@ class _CoreTlbs:
         self.l1_latency = mmu.l1_small.latency_cycles
         self.l2_latency = mmu.l2_unified.latency_cycles
         self.l2_miss_overhead = mmu.l2_unified.miss_penalty_cycles
+        # Hit outcomes are constants of the configuration; the fast path
+        # returns these instead of allocating a NamedTuple per hit.
+        self.l1_hit_result = TranslationResult(self.l1_latency, False, 0)
+        self.l2_hit_result = TranslationResult(
+            self.l1_latency + self.l2_latency, False, 0)
 
     def l1(self, large: bool) -> SramTlb:
         return self.l1_large if large else self.l1_small
@@ -87,6 +107,10 @@ class TranslationScheme:
         self.cores: List[_CoreTlbs] = [
             _CoreTlbs(config, stats, core) for core in range(config.num_cores)]
         self.mmu_stats = stats.group("mmu")
+        self._l2_misses = self.mmu_stats.counter("l2_tlb_misses")
+        self._penalty_cycles = self.mmu_stats.counter("penalty_cycles")
+        self._page_walks = self.mmu_stats.counter("page_walks")
+        self._page_walk_cycles = self.mmu_stats.counter("page_walk_cycles")
         #: Event tracer; the null object unless Observability attaches one.
         self.trace = NULL_TRACER
 
@@ -95,39 +119,86 @@ class TranslationScheme:
     def translate(self, core: int, vm_id: int, asid: int, vaddr: int,
                   page: ResolvedPage) -> TranslationResult:
         """Translate one reference; ``page`` is the functional truth."""
+        return self.translate_packed(core, pack_context(vm_id, asid),
+                                     vaddr, page)
+
+    def translate_packed(self, core: int, ctx: int, vaddr: int,
+                         page: ResolvedPage) -> TranslationResult:
+        """Translate one reference given a pre-packed (vm, asid) context."""
+        if self.trace.enabled:
+            return self._translate_traced(core, ctx, vaddr, page)
+        tlbs = self.cores[core]
+        if page.large:
+            key = ((vaddr >> _LARGE_SHIFT) << 33) | ctx | 1
+            l1 = tlbs.l1_large
+            shift = _LARGE_SHIFT
+        else:
+            key = ((vaddr >> _SMALL_SHIFT) << 33) | ctx
+            l1 = tlbs.l1_small
+            shift = _SMALL_SHIFT
+        if l1.lookup(key) is not None:
+            return tlbs.l1_hit_result
+        l1_idx = l1.probe_index
+        l2 = tlbs.l2
+        if l2.lookup(key) is not None:
+            l1.insert_at(l1_idx, key, TlbEntry(page.host_frame >> shift))
+            return tlbs.l2_hit_result
+        l2_idx = l2.probe_index
+        slot = self._l2_misses
+        slot.value += 1
+        slot.touched = True
+        vm_id = (ctx >> 1) & 0xFFFF
+        asid = (ctx >> 17) & 0xFFFF
+        penalty = self._resolve_miss(core, vm_id, asid, vaddr, page)
+        entry = TlbEntry(page.host_frame >> shift)
+        l2.insert_at(l2_idx, key, entry)
+        l1.insert_at(l1_idx, key, entry)
+        slot = self._penalty_cycles
+        slot.value += penalty
+        slot.touched = True
+        return TranslationResult(tlbs.l1_latency + tlbs.l2_latency + penalty,
+                                 True, penalty)
+
+    def _translate_traced(self, core: int, ctx: int, vaddr: int,
+                          page: ResolvedPage) -> TranslationResult:
+        """Seed-era translate flow with tracer events (counters identical)."""
         tlbs = self.cores[core]
         tr = self.trace
-        if tr.enabled:
-            tr.begin(core=core, vm=vm_id, asid=asid, vaddr=vaddr,
-                     scheme=self.name)
+        vm_id = (ctx >> 1) & 0xFFFF
+        asid = (ctx >> 17) & 0xFFFF
+        tr.begin(core=core, vm=vm_id, asid=asid, vaddr=vaddr,
+                 scheme=self.name)
         key = _key_for(vm_id, asid, vaddr, page.large)
         cycles = tlbs.l1_latency
-        if tlbs.l1(page.large).lookup(key) is not None:
+        l1 = tlbs.l1(page.large)
+        if l1.lookup(key) is not None:
             if tr.active:
                 tr.emit(events.TLB_PROBE, cycles=cycles, level="l1", hit=True)
                 tr.end(cycles=cycles, l2_miss=False, penalty=0)
             return TranslationResult(cycles, False, 0)
+        l1_idx = l1.probe_index
         if tr.active:
             tr.emit(events.TLB_PROBE, cycles=tlbs.l1_latency, level="l1",
                     hit=False)
         cycles += tlbs.l2_latency
         if tlbs.l2.lookup(key) is not None:
-            tlbs.l1(page.large).insert(key, TlbEntry(page.host_frame >>
-                                                     addr.page_shift(page.large)))
+            l1.insert_at(l1_idx, key, TlbEntry(page.host_frame >>
+                                               addr.page_shift(page.large)))
             if tr.active:
                 tr.emit(events.TLB_PROBE, cycles=tlbs.l2_latency, level="l2",
                         hit=True)
                 tr.end(cycles=cycles, l2_miss=False, penalty=0)
             return TranslationResult(cycles, False, 0)
+        l2_idx = tlbs.l2.probe_index
         if tr.active:
             tr.emit(events.TLB_PROBE, cycles=tlbs.l2_latency, level="l2",
                     hit=False)
-        self.mmu_stats.inc("l2_tlb_misses")
+        self._l2_misses.add()
         penalty = self._resolve_miss(core, vm_id, asid, vaddr, page)
         entry = TlbEntry(page.host_frame >> addr.page_shift(page.large))
-        tlbs.l2.insert(key, entry)
-        tlbs.l1(page.large).insert(key, entry)
-        self.mmu_stats.inc("penalty_cycles", penalty)
+        tlbs.l2.insert_at(l2_idx, key, entry)
+        l1.insert_at(l1_idx, key, entry)
+        self._penalty_cycles.add(penalty)
         if tr.active:
             tr.end(cycles=cycles + penalty, l2_miss=True, penalty=penalty)
         return TranslationResult(cycles + penalty, True, penalty)
@@ -166,7 +237,7 @@ class TranslationScheme:
         return cycles
 
     def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: TlbKey) -> int:
+                           key: int) -> int:
         """Scheme-specific invalidation (POM set, TSB entry, shared TLB).
 
         Returns extra cycles the backend structure costs; 0 by default.
@@ -174,10 +245,14 @@ class TranslationScheme:
         return 0
 
     def _walk(self, core: int, vm_id: int, asid: int, vaddr: int) -> int:
-        result = self.walkers.walk(core, vm_id, asid, vaddr)
-        self.mmu_stats.inc("page_walks")
-        self.mmu_stats.inc("page_walk_cycles", result.cycles)
-        return result.cycles
+        cycles = self.walkers.walk(core, vm_id, asid, vaddr).cycles
+        slot = self._page_walks
+        slot.value += 1
+        slot.touched = True
+        slot = self._page_walk_cycles
+        slot.value += cycles
+        slot.touched = True
+        return cycles
 
 
 class BaselineWalkScheme(TranslationScheme):
@@ -198,6 +273,26 @@ class BaselineWalkScheme(TranslationScheme):
                 + self._walk(core, vm_id, asid, vaddr))
 
 
+class _PomFlowStats:
+    """Resolve-once handles over the shared ``pom_flow`` stat group."""
+
+    def __init__(self, flow_stats) -> None:
+        self.group = flow_stats
+        self.resolved = (flow_stats.counter("resolved_first_try"),
+                         flow_stats.counter("resolved_second_try"))
+        self.resolved_by_walk = flow_stats.counter("resolved_by_walk")
+        self.prefetches = flow_stats.counter("prefetches")
+        self._sources: Dict[str, object] = {}
+
+    def count_source(self, source: str) -> None:
+        slot = self._sources.get(source)
+        if slot is None:
+            slot = self._sources[source] = self.group.counter(
+                f"set_from_{source}")
+        slot.value += 1
+        slot.touched = True
+
+
 class PomTlbScheme(TranslationScheme):
     """The paper's design: the Figure 7 access flow."""
 
@@ -211,50 +306,64 @@ class PomTlbScheme(TranslationScheme):
             SizeBypassPredictor(config.predictor, stats.group(f"core{core}.predictor"))
             for core in range(config.num_cores)]
         self.flow_stats = stats.group("pom_flow")
+        self._flow = _PomFlowStats(self.flow_stats)
         self._cache_entries = config.cache_tlb_entries
         self._prefetch = config.tlb_prefetch
+        # The first two conjuncts of the bypass decision are run-constant.
+        self._bypass_pred = bool(self._cache_entries
+                                 and config.predictor.bypass_enabled)
 
     def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
                       page: ResolvedPage) -> int:
         predictor = self.predictors[core]
+        pom = self.pom
+        hierarchy = self.hierarchy
         tr = self.trace
         cycles = 1  # predictor lookup
         predicted_large = predictor.predict_size(vaddr)
-        bypass = (self._cache_entries
-                  and self.config.predictor.bypass_enabled
-                  and predictor.predict_bypass(vaddr))
+        bypass = self._bypass_pred and predictor.predict_bypass(vaddr)
         if tr.active:
             tr.emit(events.PREDICTOR, cycles=1,
                     predicted_large=predicted_large, bypass=bool(bypass))
-        true_addr = self.pom.set_address(vaddr, vm_id, page.large)
+        page_large = page.large
+        true_addr = pom.set_address(vaddr, vm_id, page_large)
         line_was_cached = (self._cache_entries
-                           and self.hierarchy.tlb_line_cached(core, true_addr))
+                           and hierarchy.tlb_line_cached(core, true_addr))
 
+        ctx = (asid << 17) | (vm_id << 1)
         entry: Optional[TlbEntry] = None
         for attempt, large in enumerate((predicted_large, not predicted_large)):
-            set_addr = self.pom.set_address(vaddr, vm_id, large)
+            set_addr = pom.set_address(vaddr, vm_id, large)
             cycles += self._fetch_set(core, set_addr, bypass)
-            entry = self.pom.probe(vaddr, _key_for(vm_id, asid, vaddr, large))
+            if large:
+                key = ((vaddr >> _LARGE_SHIFT) << 33) | ctx | 1
+            else:
+                key = ((vaddr >> _SMALL_SHIFT) << 33) | ctx
+            entry = pom.probe(vaddr, key, vm_id, large)
             if tr.active:
                 tr.emit(events.POM_PROBE, attempt=attempt, large=large,
                         hit=entry is not None)
             if entry is not None:
-                self.flow_stats.inc("resolved_first_try" if attempt == 0
-                                    else "resolved_second_try")
+                self._flow.resolved[attempt].add()
                 break
         if entry is None:
             cycles += self._walk(core, vm_id, asid, vaddr)
-            self.flow_stats.inc("resolved_by_walk")
-            key = _key_for(vm_id, asid, vaddr, page.large)
-            shift = addr.page_shift(page.large)
-            set_paddr, _evicted = self.pom.insert(
-                vaddr, key, TlbEntry(page.host_frame >> shift))
+            self._flow.resolved_by_walk.add()
+            if page_large:
+                key = ((vaddr >> _LARGE_SHIFT) << 33) | ctx | 1
+                shift = _LARGE_SHIFT
+            else:
+                key = ((vaddr >> _SMALL_SHIFT) << 33) | ctx
+                shift = _SMALL_SHIFT
+            set_paddr, _evicted = pom.insert(
+                vaddr, key, TlbEntry(page.host_frame >> shift),
+                vm_id, page_large)
             # The set's cached copies are stale now; refresh the
             # requester's path, drop everyone else's.
-            self.hierarchy.invalidate_line(set_paddr)
+            hierarchy.invalidate_tlb_line(set_paddr)
             if self._cache_entries:
-                self.hierarchy.tlb_line_fill(core, set_paddr)
-        predictor.record_size(vaddr, page.large)
+                hierarchy.tlb_line_fill(core, set_paddr)
+        predictor.record_size(vaddr, page_large)
         if self._cache_entries and entry is not None:
             # Train the bypass bit only on POM-resolved misses: a
             # compulsory miss says nothing about whether probing the
@@ -279,7 +388,7 @@ class PomTlbScheme(TranslationScheme):
             return
         self.pom.dram_access(set_addr)
         self.hierarchy.tlb_line_fill(core, set_addr)
-        self.flow_stats.inc("prefetches")
+        self._flow.prefetches.add()
 
     def _fetch_set(self, core: int, set_addr: int, bypass: bool) -> int:
         """Bring one POM-TLB set to the MMU; returns cycles."""
@@ -298,19 +407,19 @@ class PomTlbScheme(TranslationScheme):
                 source = "dram"
             else:
                 source = level
-        self.flow_stats.inc(f"set_from_{source}")
+        self._flow.count_source(source)
         if self.trace.active:
             self.trace.emit(events.POM_FETCH, cycles=cycles, source=source)
         return cycles
 
     def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: TlbKey) -> int:
+                           key: int) -> int:
         cycles = 0
         for large in (False, True):
             k = _key_for(vm_id, asid, vaddr, large)
-            set_paddr = self.pom.invalidate(vaddr, k)
+            set_paddr = self.pom.invalidate(vaddr, k, vm_id, large)
             if set_paddr is not None:
-                self.hierarchy.invalidate_line(set_paddr)
+                self.hierarchy.invalidate_tlb_line(set_paddr)
                 cycles += self.pom.dram_access(set_paddr)  # set write-back
         return cycles
 
@@ -341,49 +450,105 @@ class SharedL2Scheme(TranslationScheme):
         # The private-L2 latency the shared array is compared against:
         # its extra cost is penalty the baseline would not pay.
         self._baseline_l2_latency = config.mmu.l2_unified.latency_cycles
+        self._extra_hit_cost = max(
+            0, self.shared.latency - self._baseline_l2_latency)
+        # The wrapper's lookup/insert_at are pure forwarders; probe the
+        # underlying SRAM array directly on the per-reference path.
+        self._shared_tlb = self.shared._tlb
+        self._shared_latency = self.shared.latency
 
-    def translate(self, core: int, vm_id: int, asid: int, vaddr: int,
-                  page: ResolvedPage) -> TranslationResult:
+    def translate_packed(self, core: int, ctx: int, vaddr: int,
+                         page: ResolvedPage) -> TranslationResult:
+        if self.trace.enabled:
+            return self._translate_traced(core, ctx, vaddr, page)
         tlbs = self.cores[core]
-        tr = self.trace
-        if tr.enabled:
-            tr.begin(core=core, vm=vm_id, asid=asid, vaddr=vaddr,
-                     scheme=self.name)
-        key = _key_for(vm_id, asid, vaddr, page.large)
-        cycles = tlbs.l1_latency
-        if tlbs.l1(page.large).lookup(key) is not None:
-            if tr.active:
-                tr.emit(events.TLB_PROBE, cycles=cycles, level="l1", hit=True)
-                tr.end(cycles=cycles, l2_miss=False, penalty=0)
-            return TranslationResult(cycles, False, 0)
-        if tr.active:
-            tr.emit(events.TLB_PROBE, cycles=tlbs.l1_latency, level="l1",
-                    hit=False)
-        entry_template = TlbEntry(page.host_frame >> addr.page_shift(page.large))
+        if page.large:
+            key = ((vaddr >> _LARGE_SHIFT) << 33) | ctx | 1
+            l1 = tlbs.l1_large
+            shift = _LARGE_SHIFT
+        else:
+            key = ((vaddr >> _SMALL_SHIFT) << 33) | ctx
+            l1 = tlbs.l1_small
+            shift = _SMALL_SHIFT
+        if l1.lookup(key) is not None:
+            return tlbs.l1_hit_result
+        l1_idx = l1.probe_index
+        entry_template = TlbEntry(page.host_frame >> shift)
         # Shadow bookkeeping: would the baseline's private L2 have missed?
         shadow = self._shadow[core]
         shadow_miss = shadow.lookup(key) is None
         if shadow_miss:
-            shadow.insert(key, entry_template)
-            self.mmu_stats.inc("l2_tlb_misses")
+            shadow.insert_at(shadow.probe_index, key, entry_template)
+            slot = self._l2_misses
+            slot.value += 1
+            slot.touched = True
+        shared = self._shared_tlb
+        cycles = tlbs.l1_latency + self._shared_latency
+        extra_hit_cost = self._extra_hit_cost
+        entry = shared.lookup(key)
+        if entry is not None:
+            l1.insert_at(l1_idx, key, entry)
+            slot = self._penalty_cycles
+            slot.value += extra_hit_cost
+            slot.touched = True
+            return TranslationResult(cycles, shadow_miss, extra_hit_cost)
+        shared_idx = shared.probe_index
+        penalty = extra_hit_cost + tlbs.l2_miss_overhead
+        vm_id = (ctx >> 1) & 0xFFFF
+        asid = (ctx >> 17) & 0xFFFF
+        penalty += self._walk(core, vm_id, asid, vaddr)  # dispatch as baseline
+        shared.insert_at(shared_idx, key, entry_template)
+        l1.insert_at(l1_idx, key, entry_template)
+        slot = self._penalty_cycles
+        slot.value += penalty
+        slot.touched = True
+        return TranslationResult(cycles + penalty, shadow_miss, penalty)
+
+    def _translate_traced(self, core: int, ctx: int, vaddr: int,
+                          page: ResolvedPage) -> TranslationResult:
+        tlbs = self.cores[core]
+        tr = self.trace
+        vm_id = (ctx >> 1) & 0xFFFF
+        asid = (ctx >> 17) & 0xFFFF
+        tr.begin(core=core, vm=vm_id, asid=asid, vaddr=vaddr,
+                 scheme=self.name)
+        key = _key_for(vm_id, asid, vaddr, page.large)
+        cycles = tlbs.l1_latency
+        l1 = tlbs.l1(page.large)
+        if l1.lookup(key) is not None:
+            if tr.active:
+                tr.emit(events.TLB_PROBE, cycles=cycles, level="l1", hit=True)
+                tr.end(cycles=cycles, l2_miss=False, penalty=0)
+            return TranslationResult(cycles, False, 0)
+        l1_idx = l1.probe_index
+        if tr.active:
+            tr.emit(events.TLB_PROBE, cycles=tlbs.l1_latency, level="l1",
+                    hit=False)
+        entry_template = TlbEntry(page.host_frame >> addr.page_shift(page.large))
+        shadow = self._shadow[core]
+        shadow_miss = shadow.lookup(key) is None
+        if shadow_miss:
+            shadow.insert_at(shadow.probe_index, key, entry_template)
+            self._l2_misses.add()
         cycles += self.shared.latency
-        extra_hit_cost = max(0, self.shared.latency - self._baseline_l2_latency)
+        extra_hit_cost = self._extra_hit_cost
         entry = self.shared.lookup(key)
         if tr.active:
             tr.emit(events.TLB_PROBE, cycles=self.shared.latency,
                     level="shared_l2", hit=entry is not None)
         if entry is not None:
-            tlbs.l1(page.large).insert(key, entry)
-            self.mmu_stats.inc("penalty_cycles", extra_hit_cost)
+            l1.insert_at(l1_idx, key, entry)
+            self._penalty_cycles.add(extra_hit_cost)
             if tr.active:
                 tr.end(cycles=cycles, l2_miss=shadow_miss,
                        penalty=extra_hit_cost)
             return TranslationResult(cycles, shadow_miss, extra_hit_cost)
+        shared_idx = self.shared.probe_index
         penalty = extra_hit_cost + tlbs.l2_miss_overhead
         penalty += self._walk(core, vm_id, asid, vaddr)  # dispatch as baseline
-        self.shared.insert(key, entry_template)
-        tlbs.l1(page.large).insert(key, entry_template)
-        self.mmu_stats.inc("penalty_cycles", penalty)
+        self.shared.insert_at(shared_idx, key, entry_template)
+        l1.insert_at(l1_idx, key, entry_template)
+        self._penalty_cycles.add(penalty)
         if tr.active:
             tr.end(cycles=cycles + penalty, l2_miss=shadow_miss,
                    penalty=penalty)
@@ -391,10 +556,10 @@ class SharedL2Scheme(TranslationScheme):
 
     def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
                       page: ResolvedPage) -> int:  # pragma: no cover
-        raise AssertionError("SharedL2Scheme overrides translate()")
+        raise AssertionError("SharedL2Scheme overrides translate_packed()")
 
     def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: TlbKey) -> int:
+                           key: int) -> int:
         for large in (False, True):
             k = _key_for(vm_id, asid, vaddr, large)
             self.shared.invalidate_page(k)
@@ -418,44 +583,49 @@ class TsbScheme(TranslationScheme):
     def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
                       page: ResolvedPage) -> int:
         cfg = self.tsb_config
+        tsb = self.tsb
+        hierarchy = self.hierarchy
         tr = self.trace
         cycles = cfg.trap_cycles
-        vpn = vaddr >> addr.page_shift(page.large)
-        gpa_addr = page.guest_frame | addr.page_offset(vaddr, page.large)
-        gpa_vpn = self.tsb.gpa_vpn(gpa_addr)
+        large = page.large
+        if large:
+            vpn = vaddr >> _LARGE_SHIFT
+            gpa_addr = page.guest_frame | (vaddr & _LARGE_MASK)
+        else:
+            vpn = vaddr >> _SMALL_SHIFT
+            gpa_addr = page.guest_frame | (vaddr & _SMALL_MASK)
+        gpa_vpn = tsb.gpa_vpn(gpa_addr)
         # First dependent access: guest half (gVA -> gPA).
-        guest_cycles = self.hierarchy.data_access(
-            core, self.tsb.guest_entry_address(vm_id, asid, vpn))
+        guest_entry = tsb.guest_entry_address(vm_id, asid, vpn)
+        guest_cycles = hierarchy.data_access(core, guest_entry)
         cycles += guest_cycles
-        gpa_frame = self.tsb.probe_guest(vm_id, asid, vpn, page.large)
+        gpa_frame = tsb.probe_guest(vm_id, asid, vpn, large)
         if tr.active:
             tr.emit(events.TSB_PROBE, cycles=guest_cycles, half="guest",
                     hit=gpa_frame is not None)
         resolved = False
         if gpa_frame is not None:
             # Second dependent access: host half (gPA -> hPA).
-            host_cycles = self.hierarchy.data_access(
-                core, self.tsb.host_entry_address(vm_id, gpa_vpn))
+            host_cycles = hierarchy.data_access(
+                core, tsb.host_entry_address(vm_id, gpa_vpn))
             cycles += host_cycles
-            resolved = self.tsb.probe_host(vm_id, gpa_vpn) is not None
+            resolved = tsb.probe_host(vm_id, gpa_vpn) is not None
             if tr.active:
                 tr.emit(events.TSB_PROBE, cycles=host_cycles, half="host",
                         hit=resolved)
         if not resolved:
             # Software page walk + TSB refill (stores to both halves).
             cycles += self._walk(core, vm_id, asid, vaddr)
-            self.tsb.fill_guest(vm_id, asid, vpn, page.large, page.guest_frame)
+            tsb.fill_guest(vm_id, asid, vpn, large, page.guest_frame)
             hpa_addr = page.host_frame + (gpa_addr - page.guest_frame)
-            self.tsb.fill_host(vm_id, gpa_vpn,
-                               hpa_addr & ~(addr.SMALL_PAGE_SIZE - 1))
-            cycles += self.hierarchy.data_access(
-                core, self.tsb.guest_entry_address(vm_id, asid, vpn), is_write=True)
-            cycles += self.hierarchy.data_access(
-                core, self.tsb.host_entry_address(vm_id, gpa_vpn), is_write=True)
+            tsb.fill_host(vm_id, gpa_vpn, hpa_addr & ~_SMALL_MASK)
+            cycles += hierarchy.data_access(core, guest_entry, is_write=True)
+            cycles += hierarchy.data_access(
+                core, tsb.host_entry_address(vm_id, gpa_vpn), is_write=True)
         return cycles
 
     def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: TlbKey) -> int:
+                           key: int) -> int:
         cycles = 0
         for large in (False, True):
             vpn = vaddr >> addr.page_shift(large)
@@ -488,11 +658,14 @@ class SkewedPomScheme(TranslationScheme):
                                 stats.group(f"core{core}.predictor"))
             for core in range(config.num_cores)]
         self.flow_stats = stats.group("pom_flow")
+        self._flow = _PomFlowStats(self.flow_stats)
         self._cache_entries = config.cache_tlb_entries
 
     def _resolve_miss(self, core: int, vm_id: int, asid: int, vaddr: int,
                       page: ResolvedPage) -> int:
         predictor = self.predictors[core]
+        pom = self.pom
+        hierarchy = self.hierarchy
         tr = self.trace
         cycles = 1  # predictor lookup
         predicted_large = predictor.predict_size(vaddr)
@@ -502,67 +675,79 @@ class SkewedPomScheme(TranslationScheme):
         if tr.active:
             tr.emit(events.PREDICTOR, cycles=1,
                     predicted_large=predicted_large, bypass=bool(bypass))
-        true_key = _key_for(vm_id, asid, vaddr, page.large)
-        first_line = self.pom.lines_for_key(true_key)[0]
+        ctx = (asid << 17) | (vm_id << 1)
+        page_large = page.large
+        if page_large:
+            true_key = ((vaddr >> _LARGE_SHIFT) << 33) | ctx | 1
+            shift = _LARGE_SHIFT
+        else:
+            true_key = ((vaddr >> _SMALL_SHIFT) << 33) | ctx
+            shift = _SMALL_SHIFT
+        first_line = pom.candidates(true_key)[0][2]
         line_was_cached = (self._cache_entries
-                           and self.hierarchy.tlb_line_cached(core, first_line))
+                           and hierarchy.tlb_line_cached(core, first_line))
 
+        flow = self._flow
+        cache_entries = self._cache_entries
+        uncached = not cache_entries or bypass
         entry: Optional[TlbEntry] = None
         for attempt, large in enumerate((predicted_large, not predicted_large)):
-            key = _key_for(vm_id, asid, vaddr, large)
-            for way, line_addr in enumerate(self.pom.lines_for_key(key)):
-                cycles += self._fetch_line(core, line_addr, bypass)
-                entry = self.pom.probe_way(key, way)
+            if large:
+                key = ((vaddr >> _LARGE_SHIFT) << 33) | ctx | 1
+            else:
+                key = ((vaddr >> _SMALL_SHIFT) << 33) | ctx
+            # _fetch_line inlined: up to ``ways`` line fetches per probe
+            # make this the hottest fetch loop of any scheme.
+            for way, slot, line_addr in pom.candidates(key):
+                if uncached:
+                    fetch_cycles = pom.dram_access(line_addr)
+                    if bypass:
+                        hierarchy.tlb_line_fill(core, line_addr)
+                    source = "dram_bypass" if bypass else "dram_uncached"
+                else:
+                    fetch_cycles, level = hierarchy.tlb_line_probe(
+                        core, line_addr)
+                    if level is None:
+                        fetch_cycles += pom.dram_access(line_addr)
+                        hierarchy.tlb_line_fill(core, line_addr)
+                        source = "dram"
+                    else:
+                        source = level
+                flow.count_source(source)
+                if tr.active:
+                    tr.emit(events.POM_FETCH, cycles=fetch_cycles,
+                            source=source)
+                cycles += fetch_cycles
+                entry = pom.probe_slot(key, way, slot)
                 if entry is not None:
                     break
             if tr.active:
                 tr.emit(events.POM_PROBE, attempt=attempt, large=large,
                         hit=entry is not None)
             if entry is not None:
-                self.flow_stats.inc("resolved_first_try" if attempt == 0
-                                    else "resolved_second_try")
+                self._flow.resolved[attempt].add()
                 break
         if entry is None:
             cycles += self._walk(core, vm_id, asid, vaddr)
-            self.flow_stats.inc("resolved_by_walk")
-            shift = addr.page_shift(page.large)
-            line_addr, _evicted = self.pom.insert(
+            self._flow.resolved_by_walk.add()
+            line_addr, _evicted = pom.insert(
                 true_key, TlbEntry(page.host_frame >> shift))
-            self.hierarchy.invalidate_line(line_addr)
+            hierarchy.invalidate_tlb_line(line_addr)
             if self._cache_entries:
-                self.hierarchy.tlb_line_fill(core, line_addr)
-        predictor.record_size(vaddr, page.large)
+                hierarchy.tlb_line_fill(core, line_addr)
+        predictor.record_size(vaddr, page_large)
         if self._cache_entries and entry is not None:
             predictor.record_bypass(vaddr, line_was_cached)
         return cycles
 
-    def _fetch_line(self, core: int, line_addr: int, bypass: bool) -> int:
-        if not self._cache_entries or bypass:
-            cycles = self.pom.dram_access(line_addr)
-            if bypass:
-                self.hierarchy.tlb_line_fill(core, line_addr)
-            source = "dram_bypass" if bypass else "dram_uncached"
-        else:
-            cycles, level = self.hierarchy.tlb_line_probe(core, line_addr)
-            if level is None:
-                cycles += self.pom.dram_access(line_addr)
-                self.hierarchy.tlb_line_fill(core, line_addr)
-                source = "dram"
-            else:
-                source = level
-        self.flow_stats.inc(f"set_from_{source}")
-        if self.trace.active:
-            self.trace.emit(events.POM_FETCH, cycles=cycles, source=source)
-        return cycles
-
     def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: TlbKey) -> int:
+                           key: int) -> int:
         cycles = 0
         for large in (False, True):
             k = _key_for(vm_id, asid, vaddr, large)
             line_addr = self.pom.invalidate(k)
             if line_addr is not None:
-                self.hierarchy.invalidate_line(line_addr)
+                self.hierarchy.invalidate_tlb_line(line_addr)
                 cycles += self.pom.dram_access(line_addr)
         return cycles
 

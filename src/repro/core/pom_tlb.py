@@ -16,20 +16,35 @@ The *timing* of an access (probe through caches, bypass, fills) is
 orchestrated by the MMU (:mod:`repro.core.mmu`); this class answers
 functional questions (is the translation present? what got evicted?) and
 charges stacked-DRAM cycles on demand.
+
+Keys are packed integers (:func:`repro.tlb.entry.pack_key`).  The MMU
+already holds ``vm_id``/``large`` as locals, so the hot entry points take
+them as arguments instead of re-extracting them from the key.  Each set
+is a dict in recency order (first key = LRU victim), replacing the
+seed-era newest-first list with the same victim sequence.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
+from ..common import addr
 from ..common.config import PomTlbConfig, SystemConfig
 from ..common.stats import StatGroup, StatRegistry
 from ..dram import DramChannel
-from ..tlb.entry import TlbEntry, TlbKey
+from ..tlb.entry import KEY_VM_FIELD_MASK, TlbEntry, pack_context
 from .addressing import PomTlbAddressing
 
-#: One set: newest-first list of (key, entry); len <= ways.
-_Set = List[Tuple[TlbKey, TlbEntry]]
+#: One set: dict of packed key -> entry in recency order (oldest first).
+_Set = Dict[int, TlbEntry]
+
+# Inlined PomTlbAddressing arithmetic (same constants as addressing.py);
+# the probe/insert paths run once per L2 TLB miss and a method call plus
+# ``addr.page_shift`` per index was measurable there.
+_VM_SPREAD = 0x9E37
+_SMALL_SHIFT = addr.SMALL_PAGE_SHIFT
+_LARGE_SHIFT = addr.LARGE_PAGE_SHIFT
+_LINE = addr.CACHE_LINE_SIZE
 
 
 class PomTlb:
@@ -42,14 +57,32 @@ class PomTlb:
         self.dram = DramChannel(config.stacked_dram, config.cpu_mhz,
                                 stats.group("stacked_dram"))
         self._ways = self.config.ways
+        # Partition geometry, hoisted for the inlined index math below.
+        self._small_mask = self.config.small_sets - 1
+        self._large_mask = self.config.large_sets - 1
+        self._small_base = self.config.small_base
+        self._large_base = self.config.large_base
         # Sparse set storage per partition, keyed by set index.
-        self._sets: Dict[bool, Dict[int, _Set]] = {False: {}, True: {}}
+        self._sets: Tuple[Dict[int, _Set], Dict[int, _Set]] = ({}, {})
+        # Indexed by the ``large`` flag (False == 0, True == 1).
+        self._hits = (self.stats.counter("hits_small"),
+                      self.stats.counter("hits_large"))
+        self._misses = (self.stats.counter("misses_small"),
+                        self.stats.counter("misses_large"))
+        self._fills = self.stats.counter("fills")
+        self._evictions = self.stats.counter("evictions")
 
     # -- addressing -----------------------------------------------------------
 
     def set_address(self, vaddr: int, vm_id: int, large: bool) -> int:
         """Physical address of the set ``vaddr`` maps to in a partition."""
-        return self.addressing.set_address(vaddr, vm_id, large)
+        if large:
+            index = ((vaddr >> _LARGE_SHIFT)
+                     ^ (vm_id * _VM_SPREAD)) & self._large_mask
+            return self._large_base + index * _LINE
+        index = ((vaddr >> _SMALL_SHIFT)
+                 ^ (vm_id * _VM_SPREAD)) & self._small_mask
+        return self._small_base + index * _LINE
 
     def dram_access(self, set_paddr: int) -> int:
         """Charge one 64 B stacked-DRAM burst for a set; returns cycles."""
@@ -57,80 +90,114 @@ class PomTlb:
 
     # -- functional content -----------------------------------------------------
 
-    def probe(self, vaddr: int, key: TlbKey) -> Optional[TlbEntry]:
+    def probe(self, vaddr: int, key: int, vm_id: Optional[int] = None,
+              large: Optional[bool] = None) -> Optional[TlbEntry]:
         """Search the set for ``key``; refreshes LRU on hit.
 
-        ``vaddr`` picks the set (index bits); ``key`` must carry the
-        matching page size — probing the small partition with a large
-        key is a contract violation the caller never commits.
+        ``vaddr`` picks the set (index bits); ``vm_id``/``large`` must
+        match the key's fields — the MMU passes them explicitly because
+        it already holds them as locals, other callers may omit them.
         """
-        index = self.addressing.set_index(vaddr, key.vm_id, key.large)
-        entries = self._sets[key.large].get(index)
+        if vm_id is None:
+            vm_id = (key >> 1) & 0xFFFF
+            large = bool(key & 1)
+        if large:
+            index = ((vaddr >> _LARGE_SHIFT)
+                     ^ (vm_id * _VM_SPREAD)) & self._large_mask
+        else:
+            index = ((vaddr >> _SMALL_SHIFT)
+                     ^ (vm_id * _VM_SPREAD)) & self._small_mask
+        entries = self._sets[large].get(index)
         if entries:
-            for position, (resident, entry) in enumerate(entries):
-                if resident == key:
-                    if position:
-                        entries.insert(0, entries.pop(position))
-                    self.stats.inc("hits_large" if key.large else "hits_small")
-                    return entry
-        self.stats.inc("misses_large" if key.large else "misses_small")
+            entry = entries.get(key)
+            if entry is not None:
+                if next(reversed(entries)) != key:
+                    del entries[key]
+                    entries[key] = entry
+                slot = self._hits[large]
+                slot.value += 1
+                slot.touched = True
+                return entry
+        slot = self._misses[large]
+        slot.value += 1
+        slot.touched = True
         return None
 
-    def contains(self, vaddr: int, key: TlbKey) -> bool:
+    def contains(self, vaddr: int, key: int, vm_id: Optional[int] = None,
+                 large: Optional[bool] = None) -> bool:
         """Presence check with no LRU or stats side effects."""
-        index = self.addressing.set_index(vaddr, key.vm_id, key.large)
-        entries = self._sets[key.large].get(index, [])
-        return any(resident == key for resident, _ in entries)
+        if vm_id is None:
+            vm_id = (key >> 1) & 0xFFFF
+            large = bool(key & 1)
+        index = self.addressing.set_index(vaddr, vm_id, large)
+        entries = self._sets[large].get(index)
+        return entries is not None and key in entries
 
-    def insert(self, vaddr: int, key: TlbKey,
-               entry: TlbEntry) -> Tuple[int, Optional[TlbKey]]:
+    def insert(self, vaddr: int, key: int, entry: TlbEntry,
+               vm_id: Optional[int] = None,
+               large: Optional[bool] = None) -> Tuple[int, Optional[int]]:
         """Install a translation after a page walk.
 
         Returns ``(set_paddr, evicted_key)`` so the MMU can keep cached
         copies of the set coherent and account the eviction.
         """
-        index = self.addressing.set_index(vaddr, key.vm_id, key.large)
-        sets = self._sets[key.large]
+        if vm_id is None:
+            vm_id = (key >> 1) & 0xFFFF
+            large = bool(key & 1)
+        if large:
+            index = ((vaddr >> _LARGE_SHIFT)
+                     ^ (vm_id * _VM_SPREAD)) & self._large_mask
+            set_paddr = self._large_base + index * _LINE
+        else:
+            index = ((vaddr >> _SMALL_SHIFT)
+                     ^ (vm_id * _VM_SPREAD)) & self._small_mask
+            set_paddr = self._small_base + index * _LINE
+        sets = self._sets[large]
         entries = sets.get(index)
         if entries is None:
-            entries = sets[index] = []
-        evicted: Optional[TlbKey] = None
-        for position, (resident, _old) in enumerate(entries):
-            if resident == key:
-                del entries[position]
-                break
-        else:
-            if len(entries) >= self._ways:
-                evicted, _ = entries.pop()  # LRU is last
-                self.stats.inc("evictions")
-        entries.insert(0, (key, entry))
-        self.stats.inc("fills")
-        set_paddr = self.set_address(vaddr, key.vm_id, key.large)
+            entries = sets[index] = {}
+        evicted: Optional[int] = None
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self._ways:
+            evicted = next(iter(entries))  # LRU is first
+            del entries[evicted]
+            slot = self._evictions
+            slot.value += 1
+            slot.touched = True
+        entries[key] = entry
+        slot = self._fills
+        slot.value += 1
+        slot.touched = True
         return set_paddr, evicted
 
     # -- shootdown support -------------------------------------------------
 
-    def invalidate(self, vaddr: int, key: TlbKey) -> Optional[int]:
+    def invalidate(self, vaddr: int, key: int, vm_id: Optional[int] = None,
+                   large: Optional[bool] = None) -> Optional[int]:
         """Drop one translation; returns the set address if it was present."""
-        index = self.addressing.set_index(vaddr, key.vm_id, key.large)
-        entries = self._sets[key.large].get(index)
-        if not entries:
-            return None
-        for position, (resident, _entry) in enumerate(entries):
-            if resident == key:
-                del entries[position]
-                self.stats.inc("shootdowns")
-                return self.set_address(vaddr, key.vm_id, key.large)
+        if vm_id is None:
+            vm_id = (key >> 1) & 0xFFFF
+            large = bool(key & 1)
+        index = self.addressing.set_index(vaddr, vm_id, large)
+        entries = self._sets[large].get(index)
+        if entries and key in entries:
+            del entries[key]
+            self.stats.inc("shootdowns")
+            return self.addressing.set_address(vaddr, vm_id, large)
         return None
 
     def invalidate_vm(self, vm_id: int) -> int:
         """Drop every translation of one VM; returns the count."""
+        vm_bits = pack_context(vm_id, 0) & KEY_VM_FIELD_MASK
         dropped = 0
-        for sets in self._sets.values():
+        for sets in self._sets:
             for entries in sets.values():
-                before = len(entries)
-                entries[:] = [(k, e) for k, e in entries if k.vm_id != vm_id]
-                dropped += before - len(entries)
+                doomed = [k for k in entries
+                          if k & KEY_VM_FIELD_MASK == vm_bits]
+                for k in doomed:
+                    del entries[k]
+                dropped += len(doomed)
         if dropped:
             self.stats.inc("shootdowns", dropped)
         return dropped

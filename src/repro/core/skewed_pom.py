@@ -19,6 +19,11 @@ be measured:
 Slots are 16 B entries, four to a 64 B line within each way's region of
 the address range, so the structure is memory-mapped and cacheable like
 the baseline design.
+
+Keys are packed integers (:func:`repro.tlb.entry.pack_key`); the way
+hashes extract the (vpn, vm, asid, large) fields with shifts and masks
+and mix them exactly as the seed-era NamedTuple version did, so every
+slot placement — and therefore every counter — is unchanged.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from ..common import addr
 from ..common.config import PomTlbConfig, SystemConfig
 from ..common.stats import StatGroup
 from ..dram import DramChannel
-from ..tlb.entry import TlbEntry, TlbKey
+from ..tlb.entry import KEY_VM_FIELD_MASK, TlbEntry, pack_context, pack_key
 
 #: Distinct odd multipliers, one per way (Knuth-style hashing).
 _WAY_MIX = (0x9E3779B1, 0x85EBCA77, 0xC2B2AE3D, 0x27D4EB2F)
@@ -51,19 +56,57 @@ class SkewedPomTlb:
             raise ValueError("skewed POM-TLB needs power-of-two slots/way")
         self._mask = self._slots_per_way - 1
         self._way_bytes = self.config.size_bytes // self._ways
-        # (way, slot) -> (key, entry, last-touch stamp)
-        self._slots: Dict[Tuple[int, int], Tuple[TlbKey, TlbEntry, int]] = {}
+        # (way, slot) -> (packed key, entry, last-touch stamp)
+        self._slots: Dict[Tuple[int, int], Tuple[int, TlbEntry, int]] = {}
         self._clock = 0
+        # key -> ((way, slot, line_addr), ...): the per-key geometry is
+        # pure arithmetic, recomputed up to ~10x per miss by the probe
+        # loop, the bypass trainer and insert(); memoize it per key.
+        self._geom: Dict[int, Tuple[Tuple[int, int, int], ...]] = {}
+        # Indexed by the packed key's large bit (``key & 1``).
+        self._hits = (self.stats.counter("hits_small"),
+                      self.stats.counter("hits_large"))
+        self._misses = (self.stats.counter("misses_small"),
+                        self.stats.counter("misses_large"))
+        self._fills = self.stats.counter("fills")
+        self._evictions = self.stats.counter("evictions")
 
     # -- addressing -----------------------------------------------------------
 
-    def _hash(self, key: TlbKey, way: int) -> int:
-        vpn = key.vpn
-        mixed = (vpn * _WAY_MIX[way]) ^ (vpn >> 13) ^ (key.vm_id * _VM_SPREAD)
-        mixed ^= key.asid * 0x85EB
-        if key.large:
+    def _hash(self, key: int, way: int) -> int:
+        # Same mix as the seed-era TlbKey version, fields unpacked inline.
+        vpn = key >> 33
+        mixed = ((vpn * _WAY_MIX[way]) ^ (vpn >> 13)
+                 ^ (((key >> 1) & 0xFFFF) * _VM_SPREAD))
+        mixed ^= ((key >> 17) & 0xFFFF) * 0x85EB
+        if key & 1:
             mixed ^= 0x5A5A5A5A  # both sizes coexist in one table
         return mixed & self._mask
+
+    def candidates(self, key: int) -> Tuple[Tuple[int, int, int], ...]:
+        """``(way, slot, line_addr)`` per way, in probe order, memoized.
+
+        The way hashes share every term except ``vpn * _WAY_MIX[way]``,
+        so the common mix is computed once and XORed per way.
+        """
+        geom = self._geom.get(key)
+        if geom is None:
+            vpn = key >> 33
+            base_mix = ((vpn >> 13)
+                        ^ (((key >> 1) & 0xFFFF) * _VM_SPREAD)
+                        ^ (((key >> 17) & 0xFFFF) * 0x85EB))
+            if key & 1:
+                base_mix ^= 0x5A5A5A5A
+            mask = self._mask
+            way_bytes = self._way_bytes
+            base_address = self.config.base_address
+            geom = self._geom[key] = tuple(
+                (way, slot,
+                 base_address + way * way_bytes
+                 + (slot >> 2 << addr.CACHE_LINE_SHIFT))
+                for way in range(self._ways)
+                for slot in (((vpn * _WAY_MIX[way]) ^ base_mix) & mask,))
+        return geom
 
     def _line_address(self, way: int, slot: int) -> int:
         way_base = self.config.base_address + way * self._way_bytes
@@ -72,83 +115,91 @@ class SkewedPomTlb:
     def candidate_lines(self, vaddr: int, vm_id: int,
                         large: bool) -> List[int]:
         """Line addresses to fetch, one per way, in probe order."""
-        key = TlbKey(vm_id=vm_id, asid=0, vpn=vaddr >> addr.page_shift(large),
-                     large=large)
+        key = pack_key(vm_id, 0, vaddr >> addr.page_shift(large), large)
         # asid does not change the *line* ordering contract we expose to
         # callers who only know (vaddr, vm): include it via probe_line.
-        return [self._line_address(way, self._hash(key, way))
-                for way in range(self._ways)]
+        return [line for _way, _slot, line in self.candidates(key)]
 
-    def lines_for_key(self, key: TlbKey) -> List[int]:
-        return [self._line_address(way, self._hash(key, way))
-                for way in range(self._ways)]
+    def lines_for_key(self, key: int) -> List[int]:
+        return [line for _way, _slot, line in self.candidates(key)]
 
     def dram_access(self, line_addr: int) -> int:
         return self.dram.access(line_addr)
 
     # -- functional content -----------------------------------------------------
 
-    def probe_way(self, key: TlbKey, way: int) -> Optional[TlbEntry]:
-        """Check a single way's candidate slot for ``key``."""
-        slot = self._hash(key, way)
-        resident = self._slots.get((way, slot))
+    def probe_slot(self, key: int, way: int,
+                   slot: int) -> Optional[TlbEntry]:
+        """Check one precomputed ``(way, slot)`` candidate for ``key``."""
+        slots = self._slots
+        resident = slots.get((way, slot))
         if resident is not None and resident[0] == key:
             self._clock += 1
-            self._slots[(way, slot)] = (resident[0], resident[1], self._clock)
-            self.stats.inc("hits_large" if key.large else "hits_small")
+            slots[(way, slot)] = (key, resident[1], self._clock)
+            counter = self._hits[key & 1]
+            counter.value += 1
+            counter.touched = True
             return resident[1]
         if way == self._ways - 1:
-            self.stats.inc("misses_large" if key.large else "misses_small")
+            counter = self._misses[key & 1]
+            counter.value += 1
+            counter.touched = True
         return None
 
-    def contains(self, key: TlbKey) -> bool:
-        return any(
-            (resident := self._slots.get((way, self._hash(key, way))))
-            is not None and resident[0] == key
-            for way in range(self._ways))
+    def probe_way(self, key: int, way: int) -> Optional[TlbEntry]:
+        """Check a single way's candidate slot for ``key``."""
+        return self.probe_slot(key, way, self.candidates(key)[way][1])
 
-    def insert(self, key: TlbKey,
-               entry: TlbEntry) -> Tuple[int, Optional[TlbKey]]:
+    def contains(self, key: int) -> bool:
+        return any(
+            (resident := self._slots.get((way, slot)))
+            is not None and resident[0] == key
+            for way, slot, _line in self.candidates(key))
+
+    def insert(self, key: int,
+               entry: TlbEntry) -> Tuple[int, Optional[int]]:
         """Install ``key``; returns (line address written, evicted key)."""
         self._clock += 1
-        candidates = [(way, self._hash(key, way)) for way in range(self._ways)]
+        slots = self._slots
+        candidates = self.candidates(key)
         # Update in place if present.
-        for way, slot in candidates:
-            resident = self._slots.get((way, slot))
+        for way, slot, line in candidates:
+            resident = slots.get((way, slot))
             if resident is not None and resident[0] == key:
-                self._slots[(way, slot)] = (key, entry, self._clock)
-                self.stats.inc("fills")
-                return self._line_address(way, slot), None
+                slots[(way, slot)] = (key, entry, self._clock)
+                self._fills.add()
+                return line, None
         # Prefer an empty candidate slot.
-        for way, slot in candidates:
-            if (way, slot) not in self._slots:
-                self._slots[(way, slot)] = (key, entry, self._clock)
-                self.stats.inc("fills")
-                return self._line_address(way, slot), None
+        for way, slot, line in candidates:
+            if (way, slot) not in slots:
+                slots[(way, slot)] = (key, entry, self._clock)
+                self._fills.add()
+                return line, None
         # Evict the least recently touched candidate.
-        way, slot = min(candidates, key=lambda c: self._slots[c][2])
-        evicted = self._slots[(way, slot)][0]
-        self._slots[(way, slot)] = (key, entry, self._clock)
-        self.stats.inc("fills")
-        self.stats.inc("evictions")
-        return self._line_address(way, slot), evicted
+        way, slot, line = min(candidates,
+                              key=lambda c: slots[(c[0], c[1])][2])
+        evicted = slots[(way, slot)][0]
+        slots[(way, slot)] = (key, entry, self._clock)
+        self._fills.add()
+        self._evictions.add()
+        return line, evicted
 
     # -- shootdown & reporting ------------------------------------------------
 
-    def invalidate(self, key: TlbKey) -> Optional[int]:
+    def invalidate(self, key: int) -> Optional[int]:
         """Drop ``key``; returns the line address it lived in, if any."""
-        for way in range(self._ways):
-            slot = self._hash(key, way)
+        for way, slot, line in self.candidates(key):
             resident = self._slots.get((way, slot))
             if resident is not None and resident[0] == key:
                 del self._slots[(way, slot)]
                 self.stats.inc("shootdowns")
-                return self._line_address(way, slot)
+                return line
         return None
 
     def invalidate_vm(self, vm_id: int) -> int:
+        vm_bits = pack_context(vm_id, 0) & KEY_VM_FIELD_MASK
         doomed = [pos for pos, (key, _e, _t) in self._slots.items()
-                  if key.vm_id == vm_id]
+                  if key & KEY_VM_FIELD_MASK == vm_bits]
         for pos in doomed:
             del self._slots[pos]
         if doomed:
@@ -156,7 +207,8 @@ class SkewedPomTlb:
         return len(doomed)
 
     def occupancy(self) -> Dict[str, int]:
-        small = sum(1 for key, _e, _t in self._slots.values() if not key.large)
+        small = sum(1 for key, _e, _t in self._slots.values()
+                    if not key & 1)
         return {"small": small, "large": len(self._slots) - small}
 
     def hit_rate(self) -> float:

@@ -18,6 +18,7 @@ paper figure is derived from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 from ..cache.hierarchy import CacheHierarchy
@@ -28,11 +29,17 @@ from ..faults import NO_TRANSLATION_FAULTS
 from ..obs import Observability
 from ..obs.histogram import LogHistogram
 from ..obs.windows import WindowedMetrics
+from ..tlb.entry import pack_context
 from ..vmm.thp import ThpPolicy
 from ..vmm.vm import Host, NativeProcess, ResolvedPage
-from ..workloads.trace import CoreStream, interleave
+from ..workloads.trace import CoreStream, interleave_batched
 from .mmu import TranslationScheme, make_scheme
 from .walkers import WalkerPool
+
+_SMALL_SHIFT = addr.SMALL_PAGE_SHIFT
+_LARGE_SHIFT = addr.LARGE_PAGE_SHIFT
+_SMALL_MASK = addr.SMALL_PAGE_SIZE - 1
+_LARGE_MASK = addr.LARGE_PAGE_SIZE - 1
 
 
 @dataclass
@@ -196,6 +203,29 @@ class Machine:
             return vm.touch(asid, vaddr)
         return self._native_process(asid).touch(vaddr)
 
+    def _stream_info(self, stream: CoreStream) -> tuple:
+        """Per-stream constants hoisted out of the replay hot loop.
+
+        Creates the stream's VM/process on first use — at the stream's
+        first chunk, which is exactly where the seed engine's first
+        ``touch`` would have created them, so page-frame allocation
+        order (and thus every downstream address) is unchanged.
+        """
+        vm_id, asid = stream.vm_id, stream.asid
+        if self.config.virtualized:
+            vm = self.host.vms.get(vm_id)
+            if vm is None:
+                vm = self.host.create_vm(vm_id, self._thp(vm_id))
+            proc = vm.process(asid)
+        else:
+            proc = self._native_process(asid)
+        # Demand-paging (first touch of a page) goes through the public
+        # ``touch`` so profiling/instrumentation wrappers still see it;
+        # resolved pages are served straight from the process dicts.
+        touch_slow = partial(self.touch, vm_id, asid)
+        return (stream.core, pack_context(vm_id, asid),
+                proc.large_pages, proc.small_pages, touch_slow)
+
     # -- execution -----------------------------------------------------------
 
     def run(self, streams: Iterable[CoreStream],
@@ -228,11 +258,17 @@ class Machine:
         faults = self.faults
         tracer = obs.tracer
         histograms = obs.histograms
-        translation_hist = penalty_hist = None
+        record_translation = record_penalty = None
         if histograms is not None:
-            translation_hist = histograms["translation_cycles"]
-            penalty_hist = histograms["penalty_cycles"]
+            record_translation = histograms["translation_cycles"].record
+            record_penalty = histograms["penalty_cycles"].record
         windows = obs.windows
+        record_window = windows.record if windows is not None else None
+        translate_packed = self.scheme.translate_packed
+        data_access = self.hierarchy.data_access
+        # Both in-tree faulters fix ``active`` at class level; hoist it.
+        faults_active = faults.active
+        on_translation = faults.on_translation
         references = 0
         translation_cycles = 0
         data_cycles = 0
@@ -242,46 +278,73 @@ class Machine:
         else:
             warmup_remaining = {core: count for core, count
                                 in warmup_references.items() if count > 0}
-        in_warmup = bool(warmup_remaining)
+        warming = bool(warmup_remaining)
         warmup_boundary: Dict[int, int] = {}
         last_icount: Dict[int, int] = {}
-        for stream, ref in interleave(streams):
-            if in_warmup and not warmup_remaining:
-                in_warmup = False
-                references = 0
-                translation_cycles = 0
-                data_cycles = 0
-                self.stats.reset()
-                obs.reset()
-                if tracer.enabled:
-                    tracer.marker("stats_reset")
-                warmup_boundary = dict(last_icount)
-            if in_warmup:
-                key = -1 if -1 in warmup_remaining else stream.core
-                if key in warmup_remaining:
-                    warmup_remaining[key] -= 1
-                    if warmup_remaining[key] <= 0:
-                        del warmup_remaining[key]
-            if faults.active:
-                faults.on_translation()
-            page = self.touch(stream.vm_id, stream.asid, ref.vaddr)
-            result = self.scheme.translate(
-                stream.core, stream.vm_id, stream.asid, ref.vaddr, page)
-            translation_cycles += result.cycles
-            hpa = page.host_frame | addr.page_offset(ref.vaddr, page.large)
-            data_cycles += self.hierarchy.data_access(stream.core, hpa,
-                                                      is_write=ref.write)
-            if translation_hist is not None:
-                translation_hist.record(result.cycles)
-                if result.l2_miss:
-                    penalty_hist.record(result.penalty)
-            if windows is not None:
-                windows.record(result.cycles, result.l2_miss, result.penalty)
-            last_icount[stream.core] = ref.icount
-            references += 1
-            if max_references is not None and references >= max_references:
+        stop_at = max_references if max_references is not None else float("inf")
+        infos: Dict[int, tuple] = {}
+        stopped = False
+        for stream, lo, hi in interleave_batched(streams):
+            info = infos.get(id(stream))
+            if info is None:
+                info = infos[id(stream)] = self._stream_info(stream)
+            core, ctx, large_pages, small_pages, touch_slow = info
+            large_get = large_pages.get
+            small_get = small_pages.get
+            refs = stream.references
+            ref = None
+            for i in range(lo, hi):
+                ref = refs[i]
+                if warming:
+                    if warmup_remaining:
+                        key = -1 if -1 in warmup_remaining else core
+                        if key in warmup_remaining:
+                            warmup_remaining[key] -= 1
+                            if warmup_remaining[key] <= 0:
+                                del warmup_remaining[key]
+                    else:
+                        warming = False
+                        references = 0
+                        translation_cycles = 0
+                        data_cycles = 0
+                        self.stats.reset()
+                        obs.reset()
+                        if tracer.enabled:
+                            tracer.marker("stats_reset")
+                        warmup_boundary = dict(last_icount)
+                if faults_active:
+                    on_translation()
+                vaddr = ref[1]
+                page = large_get(vaddr >> _LARGE_SHIFT)
+                if page is None:
+                    page = small_get(vaddr >> _SMALL_SHIFT)
+                    if page is None:
+                        page = touch_slow(vaddr)
+                result = translate_packed(core, ctx, vaddr, page)
+                translation_cycles += result[0]
+                hpa = page[2] | (vaddr & (_LARGE_MASK if page[0]
+                                          else _SMALL_MASK))
+                data_cycles += data_access(core, hpa, is_write=ref[2])
+                if record_translation is not None:
+                    record_translation(result[0])
+                    if result[1]:
+                        record_penalty(result[2])
+                if record_window is not None:
+                    record_window(result[0], result[1], result[2])
+                references += 1
+                if warming:
+                    # The warmup-reset boundary snapshots last_icount, so
+                    # it must be exact per reference until warm-up ends;
+                    # afterwards the chunk-end flush below suffices.
+                    last_icount[core] = ref[0]
+                if references >= stop_at:
+                    stopped = True
+                    break
+            if ref is not None:
+                last_icount[core] = ref[0]
+            if stopped:
                 break
-        if in_warmup:
+        if warming:
             raise ValueError(
                 f"warmup ({warmup_references}) consumed the whole trace")
         if windows is not None:

@@ -71,7 +71,9 @@ class SelfTimeProfiler:
         the page-walker pool, both DRAM channels (stacked when the
         scheme has one) and the functional paging layer.
         """
-        self.wrap(machine.scheme, "translate", "mmu.translate")
+        # The replay loop dispatches through translate_packed (the
+        # packed-key fast path); translate() is a cold shim over it.
+        self.wrap(machine.scheme, "translate_packed", "mmu.translate")
         self.wrap(machine.hierarchy, "data_access", "cache.data_access")
         self.wrap(machine.hierarchy, "tlb_line_probe", "cache.tlb_line_probe")
         self.wrap(machine.walkers, "walk", "paging.walk")

@@ -14,12 +14,17 @@ Acceleration modelled, matching the baseline hardware the paper measures:
   *host-physical* base of the guest table, skipping both the guest upper
   levels and their nested host walks, and
 * PTE caching in the data caches (via the ``pte_access`` callback).
+
+This is the hottest non-replay loop of the simulator (every L2 TLB miss
+of every scheme ends here in virtualized mode), so the walk bodies
+hoist attribute lookups, split traced/untraced loops and refill the
+PSCs from single tree descents; behaviour is bit-identical to the
+frozen reference copy in :mod:`repro.core._refimpl.nested`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from typing import NamedTuple, Tuple
 
 from ..common import addr
 from ..common.errors import AddressError
@@ -34,8 +39,7 @@ from .walker import PteAccess
 MAX_NESTED_REFS = 24
 
 
-@dataclass(frozen=True)
-class NestedOutcome:
+class NestedOutcome(NamedTuple):
     """Result of a nested walk: the end-to-end gVA -> hPA mapping."""
 
     cycles: int
@@ -61,6 +65,14 @@ class NestedWalker:
         self._pte_access = pte_access
         self.stats = stats
         self.trace = tracer
+        self._nested_walks = stats.counter("nested_walks")
+        self._nested_cycles = stats.counter("nested_cycles")
+        self._nested_refs = stats.counter("nested_refs")
+        # Host-physical addresses of guest table frames, memoized for the
+        # combined-PSC refill.  Guest table frames are host-mapped when
+        # allocated and that mapping is never changed or removed, so the
+        # translation is a run constant per frame.
+        self._host_base_memo = {}
 
     # -- host dimension ----------------------------------------------------------
 
@@ -70,86 +82,110 @@ class NestedWalker:
         Returns ``(hpa, cycles, memory_refs)``.  This is one column of
         the paper's Figure 1 grid.
         """
-        start_level, table_base, cycles = self.host_psc.lookup(gpa)
+        host_psc = self.host_psc
+        host_table = self.host_table
+        start_level, table_base, cycles = host_psc.lookup(gpa)
         try:
             if table_base is None:
-                steps, leaf = self.host_table.walk(gpa)
+                steps, leaf = host_table.walk(gpa)
             else:
-                steps, leaf = self.host_table.walk_from(gpa, start_level, table_base)
+                steps, leaf = host_table.walk_from(gpa, start_level,
+                                                   table_base)
         except AddressError:
             self.stats.inc("host_psc_stale")
-            self.host_psc.invalidate(gpa)
-            steps, leaf = self.host_table.walk(gpa)
+            host_psc.invalidate(gpa)
+            steps, leaf = host_table.walk(gpa)
         tr = self.trace
-        refs = 0
-        for step in steps:
-            step_cycles = self._pte_access(step.pte_paddr)
-            cycles += step_cycles
-            refs += 1
-            if tr.active:
+        pte_access = self._pte_access
+        refs = len(steps)
+        if tr.active:
+            for step in steps:
+                step_cycles = pte_access(step.pte_paddr)
+                cycles += step_cycles
                 tr.emit(events.WALK_STEP, cycles=step_cycles, dim="host",
                         level=step.level)
-        deepest = 2 if leaf.large else 1
-        for level in range(deepest, addr.RADIX_LEVELS):
-            base = self.host_table.table_base(gpa, level)
-            if base is not None:
-                self.host_psc.fill(gpa, level, base)
+        else:
+            for step in steps:
+                cycles += pte_access(step.pte_paddr)
+        by_level = host_psc.by_level
+        for level, base in host_table.table_bases(gpa,
+                                                  2 if leaf.large else 1):
+            by_level[level].fill(gpa, base)
         return leaf.translate(gpa), cycles, refs
 
     # -- full 2-D walk ------------------------------------------------------
 
     def walk(self, gva: int) -> NestedOutcome:
         """Translate ``gva`` end to end (gVA -> gPA -> hPA)."""
-        start_level, cached, cycles = self.guest_psc.lookup(gva)
+        guest_psc = self.guest_psc
+        guest_table = self.guest_table
+        start_level, cached, cycles = guest_psc.lookup(gva)
         try:
             if cached is None:
-                steps, leaf = self.guest_table.walk(gva)
+                steps, leaf = guest_table.walk(gva)
             else:
-                gpa_base, _hpa_base = cached
-                steps, leaf = self.guest_table.walk_from(gva, start_level, gpa_base)
+                steps, leaf = guest_table.walk_from(gva, start_level,
+                                                    cached[0])
         except AddressError:
             self.stats.inc("guest_psc_stale")
-            self.guest_psc.invalidate(gva)
+            guest_psc.invalidate(gva)
             cached = None
-            steps, leaf = self.guest_table.walk(gva)
+            steps, leaf = guest_table.walk(gva)
         tr = self.trace
+        tracing = tr.active
+        pte_access = self._pte_access
+        host_translate = self.host_translate
         total_refs = 0
-        for position, step in enumerate(steps):
-            if position == 0 and cached is not None:
-                # Combined-PSC hit: the host address of this guest table
-                # is cached, no nested host walk for it.
-                gpa_base, hpa_base = cached
-                pte_hpa = hpa_base + (step.pte_paddr - gpa_base)
-            else:
-                pte_hpa, host_cycles, host_refs = self.host_translate(step.pte_paddr)
-                cycles += host_cycles
-                total_refs += host_refs
-            step_cycles = self._pte_access(pte_hpa)
+        first = 0
+        if cached is not None:
+            # Combined-PSC hit: the host address of this guest table is
+            # cached, no nested host walk for it.
+            gpa_base, hpa_base = cached
+            step = steps[0]
+            step_cycles = pte_access(hpa_base + (step.pte_paddr - gpa_base))
             cycles += step_cycles
             total_refs += 1
-            if tr.active:
+            if tracing:
+                tr.emit(events.WALK_STEP, cycles=step_cycles, dim="guest",
+                        level=step.level)
+            first = 1
+        for step in steps[first:]:
+            pte_hpa, host_cycles, host_refs = host_translate(step.pte_paddr)
+            cycles += host_cycles
+            total_refs += host_refs
+            step_cycles = pte_access(pte_hpa)
+            cycles += step_cycles
+            total_refs += 1
+            if tracing:
                 tr.emit(events.WALK_STEP, cycles=step_cycles, dim="guest",
                         level=step.level)
         # Final column: translate the data page's gPA through the host.
-        gpa_page = leaf.frame
-        host_frame_addr, host_cycles, host_refs = self.host_translate(gpa_page)
+        host_frame_addr, host_cycles, host_refs = host_translate(leaf.frame)
         cycles += host_cycles
         total_refs += host_refs
         self._refill_guest_psc(gva, leaf)
-        self.stats.inc("nested_walks")
-        self.stats.inc("nested_cycles", cycles)
-        self.stats.inc("nested_refs", total_refs)
-        return NestedOutcome(cycles=cycles, memory_refs=total_refs,
-                             host_frame=host_frame_addr, large=leaf.large)
+        slot = self._nested_walks
+        slot.value += 1
+        slot.touched = True
+        slot = self._nested_cycles
+        slot.value += cycles
+        slot.touched = True
+        slot = self._nested_refs
+        slot.value += total_refs
+        slot.touched = True
+        return NestedOutcome(cycles, total_refs, host_frame_addr, leaf.large)
 
     def _refill_guest_psc(self, gva: int, leaf: LeafMapping) -> None:
         """Refill the combined cache with (gPA, hPA) guest-table bases."""
-        deepest = 2 if leaf.large else 1
-        for level in range(deepest, addr.RADIX_LEVELS):
-            gpa_base = self.guest_table.table_base(gva, level)
-            if gpa_base is None:
-                continue
-            hpa_leaf = self.host_table.lookup(gpa_base)
-            if hpa_leaf is None:
-                continue
-            self.guest_psc.fill(gva, level, (gpa_base, hpa_leaf.translate(gpa_base)))
+        memo = self._host_base_memo
+        by_level = self.guest_psc.by_level
+        for level, gpa_base in self.guest_table.table_bases(
+                gva, 2 if leaf.large else 1):
+            value = memo.get(gpa_base)
+            if value is None:
+                hpa_leaf = self.host_table.lookup(gpa_base)
+                if hpa_leaf is None:
+                    continue
+                value = memo[gpa_base] = (gpa_base,
+                                          hpa_leaf.translate(gpa_base))
+            by_level[level].fill(gva, value)

@@ -14,12 +14,16 @@ table, so a hit also skips the nested host walks of the skipped guest
 levels — matching how real MMU caches interact with EPT.
 
 Capacities follow Table 1 (2 / 4 / 32 entries), fully associative, LRU.
+
+Every page walk starts with a PSC probe, so :meth:`lookup` is unrolled
+(deepest cache first) over plain insertion-ordered dicts with counter
+slots resolved at construction; behaviour is bit-identical to the
+frozen reference copy in :mod:`repro.core._refimpl.walk_cache`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..common import addr
 from ..common.config import WalkCacheConfig
@@ -32,33 +36,43 @@ _LEVELS = (
     ("pml4", "pml4_entries", addr.LARGE_PAGE_SHIFT + 18, 3),  # VA[47:39]
 )
 
+_SHIFT_PDE = _LEVELS[0][2]
+_SHIFT_PDP = _LEVELS[1][2]
+_SHIFT_PML4 = _LEVELS[2][2]
+
 
 class _PrefixCache:
-    """One fully associative LRU cache over VA prefixes."""
+    """One fully associative LRU cache over VA prefixes.
+
+    Recency lives in the dict's insertion order (oldest first): a hit
+    re-inserts the key at the end, the victim is the first key.
+    """
 
     __slots__ = ("capacity", "shift", "_entries")
 
     def __init__(self, capacity: int, shift: int) -> None:
         self.capacity = capacity
         self.shift = shift
-        self._entries: "OrderedDict[int, int]" = OrderedDict()
+        self._entries: Dict[int, int] = {}
 
     def lookup(self, vaddr: int) -> Optional[int]:
+        entries = self._entries
         key = vaddr >> self.shift
-        base = self._entries.get(key)
-        if base is not None:
-            self._entries.move_to_end(key)
+        base = entries.get(key)
+        if base is not None and next(reversed(entries)) != key:
+            entries[key] = entries.pop(key)  # move to most-recent position
         return base
 
     def fill(self, vaddr: int, table_base: int) -> None:
         if self.capacity == 0:
             return
+        entries = self._entries
         key = vaddr >> self.shift
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-        self._entries[key] = table_base
+        if key in entries:
+            del entries[key]  # re-insert below refreshes recency
+        elif len(entries) >= self.capacity:
+            del entries[next(iter(entries))]  # oldest
+        entries[key] = table_base
 
     def invalidate(self, vaddr: int) -> None:
         self._entries.pop(vaddr >> self.shift, None)
@@ -76,10 +90,26 @@ class PagingStructureCache:
     def __init__(self, config: WalkCacheConfig, stats: StatGroup) -> None:
         self.config = config
         self.stats = stats
-        self._caches = {}
-        for name, attr, shift, start_level in _LEVELS:
-            self._caches[name] = (_PrefixCache(getattr(config, attr), shift),
-                                  start_level)
+        self._pde = _PrefixCache(config.pde_entries, _LEVELS[0][2])
+        self._pdp = _PrefixCache(config.pdp_entries, _LEVELS[1][2])
+        self._pml4 = _PrefixCache(config.pml4_entries, _LEVELS[2][2])
+        #: level -> cache (index 0 unused); level order matches _LEVELS.
+        #: Public: the walkers' refill loops index it directly, skipping
+        #: the range check of :meth:`fill` (their levels come from
+        #: ``table_bases`` and are 1..3 by construction).
+        self.by_level = (None, self._pde, self._pdp, self._pml4)
+        self._by_level = self.by_level
+        self._hit_latency = config.hit_latency_cycles
+        # Entry-dict aliases for :meth:`lookup` — the sub-caches never
+        # rebind ``_entries`` (flush() clears it in place), so probing
+        # the dicts directly skips three call frames per walk.
+        self._pde_entries = self._pde._entries
+        self._pdp_entries = self._pdp._entries
+        self._pml4_entries = self._pml4._entries
+        self._pde_hits = stats.counter("pde_hits")
+        self._pdp_hits = stats.counter("pdp_hits")
+        self._pml4_hits = stats.counter("pml4_hits")
+        self._misses = stats.counter("misses")
 
     def lookup(self, vaddr: int) -> Tuple[int, Optional[int], int]:
         """Find the deepest cached table for ``vaddr``.
@@ -88,33 +118,62 @@ class PagingStructureCache:
         hits, ``start_level`` is 4 (walk from the root) and ``table_base``
         is ``None``.  The cycle cost covers probing the PSC hierarchy.
         """
-        cycles = self.config.hit_latency_cycles
-        for name, _attr, _shift, _lvl in _LEVELS:  # deepest (pde) first
-            cache, start_level = self._caches[name]
-            base = cache.lookup(vaddr)
-            if base is not None:
-                self.stats.inc(f"{name}_hits")
-                return start_level, base, cycles
-        self.stats.inc("misses")
+        cycles = self._hit_latency
+        # _PrefixCache.lookup inlined per level (deepest first): probe
+        # the entry dict, refresh recency on hit unless already newest.
+        entries = self._pde_entries
+        key = vaddr >> _SHIFT_PDE
+        base = entries.get(key)
+        if base is not None:
+            if next(reversed(entries)) != key:
+                entries[key] = entries.pop(key)
+            slot = self._pde_hits
+            slot.value += 1
+            slot.touched = True
+            return 1, base, cycles
+        entries = self._pdp_entries
+        key = vaddr >> _SHIFT_PDP
+        base = entries.get(key)
+        if base is not None:
+            if next(reversed(entries)) != key:
+                entries[key] = entries.pop(key)
+            slot = self._pdp_hits
+            slot.value += 1
+            slot.touched = True
+            return 2, base, cycles
+        entries = self._pml4_entries
+        key = vaddr >> _SHIFT_PML4
+        base = entries.get(key)
+        if base is not None:
+            if next(reversed(entries)) != key:
+                entries[key] = entries.pop(key)
+            slot = self._pml4_hits
+            slot.value += 1
+            slot.touched = True
+            return 3, base, cycles
+        slot = self._misses
+        slot.value += 1
+        slot.touched = True
         return addr.RADIX_LEVELS, None, cycles
 
     def fill(self, vaddr: int, level: int, table_base: int) -> None:
         """Cache the base of the level-``level`` table covering ``vaddr``."""
-        for name, _attr, _shift, start_level in _LEVELS:
-            if start_level == level:
-                self._caches[name][0].fill(vaddr, table_base)
-                return
-        raise ValueError(f"PSCs cache table levels 1..3, got {level}")
+        if not 1 <= level <= 3:
+            raise ValueError(f"PSCs cache table levels 1..3, got {level}")
+        self._by_level[level].fill(vaddr, table_base)
 
     def invalidate(self, vaddr: int) -> None:
         """Drop every prefix entry covering ``vaddr`` (shootdown)."""
-        for cache, _lvl in self._caches.values():
-            cache.invalidate(vaddr)
+        self._pde.invalidate(vaddr)
+        self._pdp.invalidate(vaddr)
+        self._pml4.invalidate(vaddr)
 
     def flush(self) -> None:
-        for cache, _lvl in self._caches.values():
-            cache.flush()
+        self._pde.flush()
+        self._pdp.flush()
+        self._pml4.flush()
 
     def sizes(self) -> dict:
         """Occupancy per sub-cache (tests and debugging)."""
-        return {name: len(cache) for name, (cache, _lvl) in self._caches.items()}
+        return {"pde": len(self._pde), "pdp": len(self._pdp),
+                "pml4": len(self._pml4)}

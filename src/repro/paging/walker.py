@@ -4,12 +4,16 @@ Used directly in bare-metal mode and as the host-dimension helper of the
 nested walker.  Every PTE reference goes through the caller-supplied
 ``pte_access`` callback (the data-cache hierarchy), so walk cost reflects
 PTE caching exactly as in the baseline the paper measures against.
+
+The walk loop hoists its attribute lookups, splits the traced and
+untraced PTE loops, refills the PSC from a single tree descent and
+bumps its counters through resolved slots; behaviour is bit-identical
+to the frozen reference copy in :mod:`repro.core._refimpl.walker`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from ..common import addr
 from ..common.errors import AddressError
@@ -23,8 +27,7 @@ from .walk_cache import PagingStructureCache
 PteAccess = Callable[[int], int]
 
 
-@dataclass(frozen=True)
-class WalkOutcome:
+class WalkOutcome(NamedTuple):
     """Timing and result of one table walk."""
 
     cycles: int
@@ -46,39 +49,49 @@ class NativeWalker:
         self._pte_access = pte_access
         self.stats = stats
         self.trace = tracer
+        self._walks = stats.counter("walks")
+        self._walk_cycles = stats.counter("walk_cycles")
+        self._walk_refs = stats.counter("walk_refs")
 
     def walk(self, vaddr: int) -> WalkOutcome:
         """Translate ``vaddr``; cycles include PSC lookup and PTE accesses."""
-        start_level, table_base, cycles = self.psc.lookup(vaddr)
+        psc = self.psc
+        page_table = self.page_table
+        start_level, table_base, cycles = psc.lookup(vaddr)
         try:
             if table_base is None:
-                steps, leaf = self.page_table.walk(vaddr)
+                steps, leaf = page_table.walk(vaddr)
             else:
-                steps, leaf = self.page_table.walk_from(vaddr, start_level, table_base)
+                steps, leaf = page_table.walk_from(vaddr, start_level,
+                                                   table_base)
         except AddressError:
             # Stale PSC entry (mapping changed under it): retry from root.
             self.stats.inc("psc_stale")
-            self.psc.invalidate(vaddr)
-            steps, leaf = self.page_table.walk(vaddr)
+            psc.invalidate(vaddr)
+            steps, leaf = page_table.walk(vaddr)
         tr = self.trace
-        refs = 0
-        for step in steps:
-            step_cycles = self._pte_access(step.pte_paddr)
-            cycles += step_cycles
-            refs += 1
-            if tr.active:
+        pte_access = self._pte_access
+        refs = len(steps)
+        if tr.active:
+            for step in steps:
+                step_cycles = pte_access(step.pte_paddr)
+                cycles += step_cycles
                 tr.emit(events.WALK_STEP, cycles=step_cycles, dim="native",
                         level=step.level)
-        self._refill_psc(vaddr, leaf)
-        self.stats.inc("walks")
-        self.stats.inc("walk_cycles", cycles)
-        self.stats.inc("walk_refs", refs)
-        return WalkOutcome(cycles=cycles, memory_refs=refs, leaf=leaf)
-
-    def _refill_psc(self, vaddr: int, leaf: LeafMapping) -> None:
-        """Cache the table bases this walk discovered (deepest wins next time)."""
-        deepest = 2 if leaf.large else 1
-        for level in range(deepest, addr.RADIX_LEVELS):
-            base = self.page_table.table_base(vaddr, level)
-            if base is not None:
-                self.psc.fill(vaddr, level, base)
+        else:
+            for step in steps:
+                cycles += pte_access(step.pte_paddr)
+        by_level = psc.by_level
+        for level, base in page_table.table_bases(vaddr,
+                                                  2 if leaf.large else 1):
+            by_level[level].fill(vaddr, base)
+        slot = self._walks
+        slot.value += 1
+        slot.touched = True
+        slot = self._walk_cycles
+        slot.value += cycles
+        slot.touched = True
+        slot = self._walk_refs
+        slot.value += refs
+        slot.touched = True
+        return WalkOutcome(cycles, refs, leaf)

@@ -19,7 +19,7 @@ from typing import Optional
 from ..common.config import SharedL2Config, TlbConfig
 from ..common.stats import StatGroup
 from . import latency as sram_latency
-from .entry import TlbEntry, TlbKey
+from .entry import TlbEntry
 from .tlb import SramTlb
 
 
@@ -48,13 +48,22 @@ class SharedLastLevelTlb:
         """Round-trip lookup latency in CPU cycles (array + interconnect)."""
         return self.tlb_config.latency_cycles
 
-    def lookup(self, key: TlbKey) -> Optional[TlbEntry]:
+    @property
+    def probe_index(self) -> int:
+        """Set index of the most recent lookup (for ``insert_at``)."""
+        return self._tlb.probe_index
+
+    def lookup(self, key: int) -> Optional[TlbEntry]:
         return self._tlb.lookup(key)
 
-    def insert(self, key: TlbKey, entry: TlbEntry) -> Optional[TlbKey]:
+    def insert(self, key: int, entry: TlbEntry) -> Optional[int]:
         return self._tlb.insert(key, entry)
 
-    def invalidate_page(self, key: TlbKey) -> bool:
+    def insert_at(self, set_idx: int, key: int,
+                  entry: TlbEntry) -> Optional[int]:
+        return self._tlb.insert_at(set_idx, key, entry)
+
+    def invalidate_page(self, key: int) -> bool:
         return self._tlb.invalidate_page(key)
 
     def flush(self) -> int:

@@ -1,10 +1,16 @@
 """Set-associative SRAM TLB (L1 split / L2 unified / shared baselines).
 
-Lookups are keyed by :class:`~repro.tlb.entry.TlbKey`.  A unified TLB in
-real hardware probes its sets once per supported page size; here the MMU
-probes with the translation's true size, which produces identical
-hit/miss outcomes (a wrong-size probe can never hit: the entry was
-installed under its true size).
+Lookups are keyed by **packed integer keys** (:func:`repro.tlb.entry.pack_key`);
+the named :class:`~repro.tlb.entry.TlbKey` view is reconstructed only for
+introspection.  A unified TLB in real hardware probes its sets once per
+supported page size; here the MMU probes with the translation's true
+size, which produces identical hit/miss outcomes (a wrong-size probe can
+never hit: the entry was installed under its true size).
+
+Recency is the insertion order of each set's dict: a hit deletes and
+reinserts the key (``move_to_end``), the victim is the first key in
+iteration order.  That reproduces the seed-era per-set ``LruPolicy``
+victim sequence exactly with no side structure to maintain.
 
 Invalidation supports the shootdown granularities the paper's
 mostly-inclusive consistency scheme needs: single page, ASID, VM, or
@@ -18,80 +24,113 @@ from typing import Dict, List, Optional, Tuple
 from ..common import addr
 from ..common.config import TlbConfig
 from ..common.stats import StatGroup
-from ..cache.replacement import LruPolicy
-from .entry import TlbEntry, TlbKey
+from .entry import (KEY_CONTEXT_MASK, KEY_VM_FIELD_MASK, TlbEntry, TlbKey,
+                    pack_context, unpack_key)
 
 
 class SramTlb:
-    """One SRAM TLB level."""
+    """One SRAM TLB level, keyed by packed integer keys."""
 
     def __init__(self, config: TlbConfig, stats: StatGroup) -> None:
         self.config = config
         self.stats = stats
         self._num_sets = config.num_sets
         self._set_mask = self._num_sets - 1
-        self._sets: Tuple[Dict[TlbKey, TlbEntry], ...] = tuple(
+        self._ways = config.ways
+        self._sets: Tuple[Dict[int, TlbEntry], ...] = tuple(
             {} for _ in range(self._num_sets))
-        self._lru: Tuple[LruPolicy, ...] = tuple(
-            LruPolicy() for _ in range(self._num_sets))
+        self._hits = stats.counter("hits")
+        self._misses = stats.counter("misses")
+        self._fills = stats.counter("fills")
+        self._evictions = stats.counter("evictions")
+        #: Set index of the most recent :meth:`lookup`; the schemes read
+        #: it to :meth:`insert_at` after a miss without re-hashing.
+        self.probe_index = 0
 
-    def _set_index(self, key: TlbKey) -> int:
+    def _set_index(self, key: int) -> int:
         # XOR in vm/asid so co-running guests spread over the sets; the
         # paper applies the same trick to the POM-TLB set mapping.
-        return (key.vpn ^ (key.vm_id * 0x9E37) ^ (key.asid * 0x85EB)) & self._set_mask
+        # Field extraction inlined from entry.py's packed layout.
+        return ((key >> 33)
+                ^ (((key >> 1) & 0xFFFF) * 0x9E37)
+                ^ (((key >> 17) & 0xFFFF) * 0x85EB)) & self._set_mask
 
     # -- operations -----------------------------------------------------------
 
-    def lookup(self, key: TlbKey) -> Optional[TlbEntry]:
-        """Probe for ``key``; refreshes recency and stats."""
-        set_idx = self._set_index(key)
-        entry = self._sets[set_idx].get(key)
+    def lookup(self, key: int) -> Optional[TlbEntry]:
+        """Probe for ``key``; refreshes recency and stats.
+
+        Leaves the probed set index in :attr:`probe_index` so a
+        following :meth:`insert_at` skips the second hash.
+        """
+        set_idx = ((key >> 33)
+                   ^ (((key >> 1) & 0xFFFF) * 0x9E37)
+                   ^ (((key >> 17) & 0xFFFF) * 0x85EB)) & self._set_mask
+        self.probe_index = set_idx
+        entries = self._sets[set_idx]
+        entry = entries.get(key)
         if entry is not None:
-            self.stats.inc("hits")
-            self._lru[set_idx].touch(key)
+            slot = self._hits
+            slot.value += 1
+            slot.touched = True
+            # move_to_end: delete + reinsert keeps dict order == recency.
+            del entries[key]
+            entries[key] = entry
             return entry
-        self.stats.inc("misses")
+        slot = self._misses
+        slot.value += 1
+        slot.touched = True
         return None
 
-    def contains(self, key: TlbKey) -> bool:
+    def contains(self, key: int) -> bool:
         """Presence check with no side effects."""
         return key in self._sets[self._set_index(key)]
 
-    def insert(self, key: TlbKey, entry: TlbEntry) -> Optional[TlbKey]:
+    def insert(self, key: int, entry: TlbEntry) -> Optional[int]:
         """Install a translation; returns the evicted key, if any."""
-        set_idx = self._set_index(key)
+        return self.insert_at(self._set_index(key), key, entry)
+
+    def insert_at(self, set_idx: int, key: int,
+                  entry: TlbEntry) -> Optional[int]:
+        """Install ``key`` into a set whose index the caller already has."""
         entries = self._sets[set_idx]
-        lru = self._lru[set_idx]
-        evicted: Optional[TlbKey] = None
-        if key not in entries and len(entries) >= self.config.ways:
-            evicted = lru.victim()
+        evicted: Optional[int] = None
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self._ways:
+            evicted = next(iter(entries))
             del entries[evicted]
-            lru.remove(evicted)
-            self.stats.inc("evictions")
+            slot = self._evictions
+            slot.value += 1
+            slot.touched = True
         entries[key] = entry
-        lru.touch(key)
-        self.stats.inc("fills")
+        slot = self._fills
+        slot.value += 1
+        slot.touched = True
         return evicted
 
     # -- invalidation (TLB shootdown support) -------------------------------
 
-    def invalidate_page(self, key: TlbKey) -> bool:
+    def invalidate_page(self, key: int) -> bool:
         """Drop one translation (shootdown of a single page)."""
         set_idx = self._set_index(key)
         if key in self._sets[set_idx]:
             del self._sets[set_idx][key]
-            self._lru[set_idx].remove(key)
             self.stats.inc("shootdowns")
             return True
         return False
 
     def invalidate_asid(self, vm_id: int, asid: int) -> int:
         """Drop all translations of one guest process; returns count."""
-        return self._invalidate_if(lambda k: k.vm_id == vm_id and k.asid == asid)
+        context = pack_context(vm_id, asid)
+        return self._invalidate_if(
+            lambda k: k & KEY_CONTEXT_MASK == context)
 
     def invalidate_vm(self, vm_id: int) -> int:
         """Drop all translations of one VM (e.g. VM teardown)."""
-        return self._invalidate_if(lambda k: k.vm_id == vm_id)
+        vm_bits = pack_context(vm_id, 0)
+        return self._invalidate_if(
+            lambda k: k & KEY_VM_FIELD_MASK == vm_bits)
 
     def flush(self) -> int:
         """Full flush; returns the number of entries dropped."""
@@ -99,11 +138,10 @@ class SramTlb:
 
     def _invalidate_if(self, predicate) -> int:
         dropped = 0
-        for entries, lru in zip(self._sets, self._lru):
+        for entries in self._sets:
             doomed = [key for key in entries if predicate(key)]
             for key in doomed:
                 del entries[key]
-                lru.remove(key)
             dropped += len(doomed)
         if dropped:
             self.stats.inc("shootdowns", dropped)
@@ -118,7 +156,7 @@ class SramTlb:
         """All resident translations (tests and consistency checks)."""
         found: List[TlbKey] = []
         for entries in self._sets:
-            found.extend(entries)
+            found.extend(unpack_key(key) for key in entries)
         return found
 
     def hit_rate(self) -> float:

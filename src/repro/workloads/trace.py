@@ -201,3 +201,48 @@ def interleave(streams: Iterable[CoreStream]) -> Iterator[tuple]:
         nxt = next(iterator, None)
         if nxt is not None:
             heapq.heappush(heap, (nxt.icount, stream.core, index, nxt))
+
+
+def interleave_batched(streams: Iterable[CoreStream]) -> Iterator[tuple]:
+    """Merge streams like :func:`interleave`, but yield runs as chunks.
+
+    Yields ``(stream, lo, hi)`` where ``stream.references[lo:hi]`` is a
+    maximal run of consecutive references that :func:`interleave` would
+    deliver back-to-back from the same stream.  Flattening the chunks
+    reproduces the exact :func:`interleave` order — ties still break by
+    core id, then by stream arrival order.  The simulator's hot loop
+    consumes chunks so per-stream constants (core, packed context, page
+    maps) are hoisted out of the per-reference path.
+    """
+    import heapq
+
+    sources = []
+    positions = []
+    heap = []
+    for stream in streams:
+        refs = stream.references
+        if refs:
+            heap.append((refs[0].icount, stream.core, len(sources)))
+            sources.append((stream, refs, len(refs)))
+            positions.append(0)
+    heapq.heapify(heap)
+    while heap:
+        _icount, core, index = heapq.heappop(heap)
+        stream, refs, length = sources[index]
+        lo = positions[index]
+        hi = lo + 1
+        if heap:
+            # Nothing is pushed until this chunk closes, so the head is
+            # fixed; extend while our next reference still sorts first.
+            # Strict '<' is exact: full tuples never compare equal
+            # (stream indices are unique).
+            head = heap[0]
+            while hi < length and (refs[hi].icount, core, index) < head:
+                hi += 1
+        else:
+            hi = length
+        positions[index] = hi
+        yield stream, lo, hi
+        if hi < length:
+            heapq.heappush(heap, (refs[hi].icount, core, index))
+

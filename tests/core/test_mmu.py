@@ -151,7 +151,7 @@ class TestPomTlbScheme:
 def _key(machine, vm, asid, vaddr, large):
     from repro.tlb.entry import TlbKey
     return TlbKey(vm_id=vm, asid=asid,
-                  vpn=vaddr >> addr.page_shift(large), large=large)
+                  vpn=vaddr >> addr.page_shift(large), large=large).pack()
 
 
 class TestSharedL2Scheme:

@@ -15,7 +15,8 @@ def make_pom(size_mb=16):
 
 
 def key(vpn, vm=0, asid=0, large=False):
-    return TlbKey(vm_id=vm, asid=asid, vpn=vpn, large=large)
+    """Packed key — the representation the POM-TLB is keyed by."""
+    return TlbKey(vm_id=vm, asid=asid, vpn=vpn, large=large).pack()
 
 
 class TestProbeInsert:

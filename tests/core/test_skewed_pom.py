@@ -16,7 +16,8 @@ def make_skewed(size_mb=1):
 
 
 def key(vpn, vm=0, asid=0, large=False):
-    return TlbKey(vm_id=vm, asid=asid, vpn=vpn, large=large)
+    """Packed key — the representation the skewed POM-TLB is keyed by."""
+    return TlbKey(vm_id=vm, asid=asid, vpn=vpn, large=large).pack()
 
 
 class TestStructure:

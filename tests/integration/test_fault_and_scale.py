@@ -50,7 +50,7 @@ class TestFaultInjection:
         fresh = machine.touch(0, 1, va)
         machine.scheme.translate(0, 0, 1, va, fresh)
         from repro.tlb.entry import TlbKey
-        key = TlbKey(0, 1, va >> addr.SMALL_PAGE_SHIFT, False)
+        key = TlbKey(0, 1, va >> addr.SMALL_PAGE_SHIFT, False).pack()
         entry = machine.scheme.pom.probe(va, key)
         assert entry.ppn == fresh.host_frame >> addr.SMALL_PAGE_SHIFT
 

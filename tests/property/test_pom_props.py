@@ -46,7 +46,7 @@ class TestContentProperties:
     def test_insert_then_probe_hits(self, items):
         pom = make_pom()
         for va, vm, asid, large in items:
-            key = TlbKey(vm, asid, va >> addr.page_shift(large), large)
+            key = TlbKey(vm, asid, va >> addr.page_shift(large), large).pack()
             pom.insert(va, key, TlbEntry(ppn=asid))
             found = pom.probe(va, key)
             assert found is not None and found.ppn == asid
@@ -56,9 +56,9 @@ class TestContentProperties:
     def test_set_occupancy_bounded_by_ways(self, items):
         pom = make_pom()
         for va, vm, asid, large in items:
-            key = TlbKey(vm, asid, va >> addr.page_shift(large), large)
+            key = TlbKey(vm, asid, va >> addr.page_shift(large), large).pack()
             pom.insert(va, key, TlbEntry(1))
-        for sets in pom._sets.values():
+        for sets in pom._sets:
             for entries in sets.values():
                 assert len(entries) <= pom.config.ways
 
@@ -67,10 +67,10 @@ class TestContentProperties:
     def test_invalidate_removes(self, items):
         pom = make_pom()
         for va, vm, asid, large in items:
-            key = TlbKey(vm, asid, va >> addr.page_shift(large), large)
+            key = TlbKey(vm, asid, va >> addr.page_shift(large), large).pack()
             pom.insert(va, key, TlbEntry(1))
         for va, vm, asid, large in items:
-            key = TlbKey(vm, asid, va >> addr.page_shift(large), large)
+            key = TlbKey(vm, asid, va >> addr.page_shift(large), large).pack()
             pom.invalidate(va, key)
             assert not pom.contains(va, key)
 
@@ -79,9 +79,10 @@ class TestContentProperties:
     def test_vm_invalidation_complete(self, items, vm):
         pom = make_pom()
         for va, v, asid, large in items:
-            key = TlbKey(v, asid, va >> addr.page_shift(large), large)
+            key = TlbKey(v, asid, va >> addr.page_shift(large), large).pack()
             pom.insert(va, key, TlbEntry(1))
         pom.invalidate_vm(vm)
-        for sets in pom._sets.values():
+        from repro.tlb.entry import unpack_key
+        for sets in pom._sets:
             for entries in sets.values():
-                assert all(k.vm_id != vm for k, _e in entries)
+                assert all(unpack_key(k).vm_id != vm for k in entries)

@@ -26,7 +26,7 @@ class TestTlbInvariants:
     def test_capacity_bound(self, inserts):
         tlb = make_tlb()
         for key in inserts:
-            tlb.insert(key, TlbEntry(ppn=key.vpn))
+            tlb.insert(key.pack(), TlbEntry(ppn=key.vpn))
             assert len(tlb) <= tlb.config.entries
 
     @settings(max_examples=50, deadline=None)
@@ -34,8 +34,8 @@ class TestTlbInvariants:
     def test_insert_then_immediate_lookup_hits(self, inserts):
         tlb = make_tlb()
         for key in inserts:
-            tlb.insert(key, TlbEntry(ppn=key.vpn & 0xFFFF))
-            entry = tlb.lookup(key)
+            tlb.insert(key.pack(), TlbEntry(ppn=key.vpn & 0xFFFF))
+            entry = tlb.lookup(key.pack())
             assert entry is not None
             assert entry.ppn == key.vpn & 0xFFFF
 
@@ -46,8 +46,8 @@ class TestTlbInvariants:
         tlb = make_tlb()
         for key in inserts:
             size_before = len(tlb)
-            already_there = tlb.contains(key)
-            evicted = tlb.insert(key, TlbEntry(1))
+            already_there = tlb.contains(key.pack())
+            evicted = tlb.insert(key.pack(), TlbEntry(1))
             if already_there:
                 assert len(tlb) == size_before
             elif evicted is None:
@@ -61,7 +61,7 @@ class TestTlbInvariants:
     def test_vm_invalidation_is_complete(self, inserts, vm):
         tlb = make_tlb()
         for key in inserts:
-            tlb.insert(key, TlbEntry(1))
+            tlb.insert(key.pack(), TlbEntry(1))
         tlb.invalidate_vm(vm)
         assert all(k.vm_id != vm for k in tlb.keys())
 
@@ -70,7 +70,7 @@ class TestTlbInvariants:
     def test_flush_empties(self, inserts):
         tlb = make_tlb()
         for key in inserts:
-            tlb.insert(key, TlbEntry(1))
+            tlb.insert(key.pack(), TlbEntry(1))
         tlb.flush()
         assert len(tlb) == 0
-        assert all(tlb.lookup(k) is None for k in inserts)
+        assert all(tlb.lookup(k.pack()) is None for k in inserts)

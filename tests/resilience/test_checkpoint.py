@@ -49,6 +49,23 @@ class TestRunKey:
         other = dataclasses.replace(TINY, **{field: value})
         assert run_key("gups", "pom", other) == run_key("gups", "pom", TINY)
 
+    def test_keys_stable_across_engine_changes(self):
+        """Pinned hashes: pre-rewrite checkpoints must keep resuming.
+
+        The fast-path engine rewrite changed how results are *computed*,
+        not what they are, and introduced no new simulation parameters —
+        so keys written by older checkpoints must still hit.  These two
+        values were recorded before the rewrite; if either assert fires,
+        a field was added to (or dropped from) the content hash and
+        ``--resume`` would silently re-run every finished campaign.
+        """
+        assert (run_key("gups", "pom", ExperimentParams())
+                == "252f78e6d61a8d90c7e10a039d57be05")
+        assert (run_key("gcc", "baseline",
+                        ExperimentParams(num_cores=2, refs_per_core=400,
+                                         scale=0.05, seed=7))
+                == "222eb1f1fa235ab3569736387b316d90")
+
 
 class TestSerialization:
     def test_round_trip(self, run):

@@ -36,21 +36,21 @@ class TestSharedLastLevelTlb:
 
     def test_insert_lookup_roundtrip(self):
         shared = make_shared(4)
-        k = TlbKey(vm_id=0, asid=1, vpn=42, large=False)
+        k = TlbKey(vm_id=0, asid=1, vpn=42, large=False).pack()
         shared.insert(k, TlbEntry(ppn=7))
         assert shared.lookup(k).ppn == 7
 
     def test_flush_and_len(self):
         shared = make_shared(2)
         for vpn in range(16):
-            shared.insert(TlbKey(0, 0, vpn, False), TlbEntry(vpn))
+            shared.insert(TlbKey(0, 0, vpn, False).pack(), TlbEntry(vpn))
         assert len(shared) == 16
         assert shared.flush() == 16
         assert len(shared) == 0
 
     def test_invalidate_page(self):
         shared = make_shared(2)
-        k = TlbKey(0, 0, 5, False)
+        k = TlbKey(0, 0, 5, False).pack()
         shared.insert(k, TlbEntry(1))
         assert shared.invalidate_page(k)
         assert shared.lookup(k) is None

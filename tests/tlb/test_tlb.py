@@ -14,7 +14,8 @@ def make_tlb(entries=64, ways=4):
 
 
 def key(vpn, vm=0, asid=0, large=False):
-    return TlbKey(vm_id=vm, asid=asid, vpn=vpn, large=large)
+    """Packed key — the representation SramTlb is keyed by."""
+    return TlbKey(vm_id=vm, asid=asid, vpn=vpn, large=large).pack()
 
 
 class TestLookupInsert:
@@ -113,7 +114,8 @@ class TestIntrospection:
         t = make_tlb()
         t.insert(key(1), TlbEntry(1))
         t.insert(key(2), TlbEntry(2))
-        assert set(t.keys()) == {key(1), key(2)}
+        assert set(t.keys()) == {TlbKey.from_packed(key(1)),
+                                 TlbKey.from_packed(key(2))}
 
     def test_reach(self):
         t = make_tlb(entries=64)
