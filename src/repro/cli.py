@@ -9,6 +9,9 @@ Examples::
     pomtlb details --benchmarks mcf --metrics-out windows.json
     pomtlb profile --benchmarks mcf --scheme pom
     pomtlb campaign --output results.txt
+    pomtlb campaign --workers 4 --workload-cache ~/.cache/pomtlb-workloads
+    pomtlb trace pack core0.trace core0.pwl.gz
+    pomtlb trace unpack core0.pwl.gz roundtrip.trace
 """
 
 from __future__ import annotations
@@ -127,6 +130,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             metavar="SECONDS",
                             help="base exponential-backoff delay between "
                                  "attempts (default 0.25)")
+    resilience.add_argument("--workload-cache", default="", metavar="DIR",
+                            help="compile campaign workloads into this "
+                                 "content-addressed packed-trace cache; a "
+                                 "second campaign with the same workload "
+                                 "parameters replays from it instead of "
+                                 "regenerating traces")
     resilience.add_argument("--checkpoint", default="", metavar="PATH",
                             help="persist finished campaign runs to this "
                                  "JSONL store as they complete")
@@ -219,12 +228,80 @@ def _render(args: argparse.Namespace, report) -> str:
     return report.render() + "\n"
 
 
+def _trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pomtlb trace",
+        description="Convert between the text #pomtlb-trace format and "
+                    "the packed binary columnar format (a .gz suffix on "
+                    "either side selects gzip).")
+    actions = parser.add_subparsers(dest="action", required=True)
+    pack = actions.add_parser(
+        "pack", help="text trace -> packed binary (records stream "
+                     "straight into columns; the trace is never held as "
+                     "Python objects)")
+    pack.add_argument("input", help="text #pomtlb-trace file (.gz ok)")
+    pack.add_argument("output", help="packed trace to write (.gz ok)")
+    unpack = actions.add_parser(
+        "unpack", help="packed binary -> text trace")
+    unpack.add_argument("input", help="packed trace file (.gz ok)")
+    unpack.add_argument("output", help="text #pomtlb-trace to write (.gz ok)")
+    return parser
+
+
+def _trace_main(argv: List[str]) -> int:
+    from .common.errors import PackedTraceError, TraceFormatError
+    from .workloads.packed import load_packed, save_packed, unpack_stream
+    from .workloads.trace import load_stream_packed, save_stream
+
+    args = _trace_parser().parse_args(argv)
+    try:
+        if args.action == "pack":
+            stream = load_stream_packed(args.input)
+            # _iter_records already enforced per-record invariants;
+            # validate_stream adds cross-record monotonicity so the
+            # validated flag in the output is trustworthy.
+            from .workloads.trace import validate_stream
+            validate_stream(stream)
+            save_packed(args.output, [stream], validated=True)
+            print(f"packed {len(stream)} record(s) "
+                  f"(core={stream.core} vm={stream.vm_id} "
+                  f"asid={stream.asid}) -> {args.output}")
+        else:
+            container = load_packed(args.input)
+            try:
+                if len(container.streams) != 1:
+                    print(f"{args.input}: holds {len(container.streams)} "
+                          "streams (a compiled workload, not a single "
+                          "core trace); the text format is one stream "
+                          "per file", file=sys.stderr)
+                    return EXIT_USAGE
+                stream = unpack_stream(container.streams[0])
+            finally:
+                container.backing.close()
+            save_stream(stream, args.output)
+            print(f"unpacked {len(stream)} record(s) "
+                  f"(core={stream.core} vm={stream.vm_id} "
+                  f"asid={stream.asid}) -> {args.output}")
+    except (TraceFormatError, PackedTraceError) as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as exc:
+        print(f"cannot {args.action} trace: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         print("static:  ", ", ".join(sorted(_STATIC)))
         print("dynamic: ", ", ".join(sorted(_DYNAMIC)),
               "+ campaign, details, profile")
+        print("tools:    trace pack, trace unpack")
         print("benchmarks:", ", ".join(BENCHMARKS))
         return 0
 
@@ -248,6 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment != "campaign":
         for flag, name in ((args.checkpoint, "--checkpoint"),
                            (args.resume, "--resume"),
+                           (args.workload_cache, "--workload-cache"),
                            (args.inject_faults, "--inject-faults")):
             if flag:
                 print(f"{name} only applies to 'pomtlb campaign'",
@@ -289,7 +367,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                           out=io.StringIO(),
                                           obs_factory=obs_factory,
                                           checkpoint_path=args.checkpoint,
-                                          resume=args.resume, faults=faults)
+                                          resume=args.resume, faults=faults,
+                                          workload_cache=args.workload_cache)
                 text = json.dumps(
                     [json.loads(report.to_json()) for report in result],
                     indent=2) + "\n"
@@ -300,7 +379,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     out=buffer if args.output else sys.stdout,
                     obs_factory=obs_factory,
                     checkpoint_path=args.checkpoint,
-                    resume=args.resume, faults=faults)
+                    resume=args.resume, faults=faults,
+                    workload_cache=args.workload_cache)
                 text = buffer.getvalue()
             if result.failures:
                 degraded = True

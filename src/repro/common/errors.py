@@ -54,6 +54,19 @@ class TraceFormatError(ReproError):
         self.text = text
 
 
+class PackedTraceError(ReproError):
+    """A packed binary trace container is damaged or unreadable.
+
+    Covers truncation, magic/version mismatches and checksum failures
+    on the columnar format (:mod:`repro.workloads.packed`); ``path``
+    names the offending file or shared-memory segment when known.
+    """
+
+    def __init__(self, message: str, path: str = "") -> None:
+        super().__init__(f"{path}: {message}" if path else message)
+        self.path = path
+
+
 class TransientError(ReproError):
     """A failure that may succeed on retry (timeouts, crashed workers).
 

@@ -28,6 +28,22 @@ def atomic_write_text(path: str, text: str) -> None:
         raise
 
 
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Binary sibling of :func:`atomic_write_text` (packed trace cache)."""
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 class AtomicFile:
     """An incrementally written file that becomes visible only on commit.
 

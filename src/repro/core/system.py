@@ -41,6 +41,10 @@ _LARGE_SHIFT = addr.LARGE_PAGE_SHIFT
 _SMALL_MASK = addr.SMALL_PAGE_SIZE - 1
 _LARGE_MASK = addr.LARGE_PAGE_SIZE - 1
 
+#: Write-bitmap bit -> the exact bool the tuple path passes, so packed
+#: replay feeds ``data_access`` bit-identical arguments.
+_WRITE_BOOL = (False, True)
+
 
 @dataclass
 class SimulationResult:
@@ -223,8 +227,12 @@ class Machine:
         # ``touch`` so profiling/instrumentation wrappers still see it;
         # resolved pages are served straight from the process dicts.
         touch_slow = partial(self.touch, vm_id, asid)
+        # Packed streams expose columns for tuple-free replay; resolved
+        # here (once per stream) so the tuple path pays nothing per chunk.
+        columns = getattr(stream, "columns", None)
         return (stream.core, pack_context(vm_id, asid),
-                proc.large_pages, proc.small_pages, touch_slow)
+                proc.large_pages, proc.small_pages, touch_slow,
+                columns() if columns is not None else None)
 
     # -- execution -----------------------------------------------------------
 
@@ -288,9 +296,68 @@ class Machine:
             info = infos.get(id(stream))
             if info is None:
                 info = infos[id(stream)] = self._stream_info(stream)
-            core, ctx, large_pages, small_pages, touch_slow = info
+            core, ctx, large_pages, small_pages, touch_slow, cols = info
             large_get = large_pages.get
             small_get = small_pages.get
+            if cols is not None:
+                # Columnar replay: a packed (cache / shared-memory)
+                # stream is consumed straight off its icount/vaddr/write
+                # columns — no MemoryReference tuple is materialized.
+                # Mirrors the tuple loop below line for line; keep the
+                # two in sync.
+                icounts, vaddrs, writebits = cols
+                i = lo
+                for i in range(lo, hi):
+                    if warming:
+                        if warmup_remaining:
+                            key = -1 if -1 in warmup_remaining else core
+                            if key in warmup_remaining:
+                                warmup_remaining[key] -= 1
+                                if warmup_remaining[key] <= 0:
+                                    del warmup_remaining[key]
+                        else:
+                            warming = False
+                            references = 0
+                            translation_cycles = 0
+                            data_cycles = 0
+                            self.stats.reset()
+                            obs.reset()
+                            if tracer.enabled:
+                                tracer.marker("stats_reset")
+                            warmup_boundary = dict(last_icount)
+                    if faults_active:
+                        on_translation()
+                    vaddr = vaddrs[i]
+                    page = large_get(vaddr >> _LARGE_SHIFT)
+                    if page is None:
+                        page = small_get(vaddr >> _SMALL_SHIFT)
+                        if page is None:
+                            page = touch_slow(vaddr)
+                    result = translate_packed(core, ctx, vaddr, page)
+                    translation_cycles += result[0]
+                    hpa = page[2] | (vaddr & (_LARGE_MASK if page[0]
+                                              else _SMALL_MASK))
+                    data_cycles += data_access(
+                        core, hpa,
+                        is_write=_WRITE_BOOL[(writebits[i >> 3]
+                                              >> (i & 7)) & 1])
+                    if record_translation is not None:
+                        record_translation(result[0])
+                        if result[1]:
+                            record_penalty(result[2])
+                    if record_window is not None:
+                        record_window(result[0], result[1], result[2])
+                    references += 1
+                    if warming:
+                        last_icount[core] = icounts[i]
+                    if references >= stop_at:
+                        stopped = True
+                        break
+                if hi > lo:
+                    last_icount[core] = icounts[i]
+                if stopped:
+                    break
+                continue
             refs = stream.references
             ref = None
             for i in range(lo, hi):

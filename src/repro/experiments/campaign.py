@@ -25,10 +25,15 @@ from ..common import addr
 from ..faults import NO_FAULTS, FaultPlan
 from ..obs import NULL_TRACER
 from ..resilience import CheckpointStore, RetryPolicy, RunRequest, execute_runs
-from ..workloads.suite import BENCHMARKS
+from ..workloads import shm as workload_shm
+from ..workloads.cache import WorkloadCache, params_workload_key
+from ..workloads.packed import decode_container, encode_workload
+from ..workloads.suite import BENCHMARKS, get_profile
+from ..workloads.trace import validate_stream
 from . import figures, tables
 from .report import Report
 from .runner import ExperimentParams, ObsFactory, SuiteRunner
+from .schedule import cost_function
 
 #: Subset used for the (expensive) sensitivity sweeps; spans the
 #: pattern space: pointer-chase, random, scan, grid, graph, mixed.
@@ -94,6 +99,95 @@ def campaign_requests(params: ExperimentParams,
     return requests
 
 
+class _CompiledWorkloads:
+    """The campaign's workload compilation state (tentpole of PR 4).
+
+    Each distinct (benchmark, num_cores, refs_per_core, seed, scale)
+    workload is compiled to the packed columnar format exactly once in
+    the campaign parent — from the on-disk cache when one is configured,
+    generated otherwise — instead of once per scheme inside every run.
+    Pooled workers attach the compiled bytes through shared memory (one
+    physical copy for the whole pool) or mmap the cache file; serial
+    runs replay the parent's containers directly.
+    """
+
+    def __init__(self, cache_dir: str, parallel: bool) -> None:
+        self.cache = WorkloadCache(cache_dir) if cache_dir else None
+        self.parallel = parallel
+        self.containers = {}   # workload key -> DecodedContainer
+        self.refs = {}         # workload key -> WorkloadRef
+        self.arena = (workload_shm.WorkloadArena()
+                      if parallel and workload_shm.shm_available() else None)
+        self.compiled = 0
+        self.cache_hits = 0
+
+    def compile(self, requests):
+        """Compile every distinct workload; returns requests with refs."""
+        for request in requests:
+            key = params_workload_key(request.benchmark, request.params)
+            if key in self.containers:
+                continue
+            self._compile_one(key, request)
+        if not self.parallel:
+            return requests
+        return [dataclasses.replace(
+                    request, workload_ref=self.refs.get(
+                        params_workload_key(request.benchmark,
+                                            request.params)))
+                for request in requests]
+
+    def _compile_one(self, key: str, request) -> None:
+        params = request.params
+        blob = None
+        if self.cache is not None:
+            container, hit = self.cache.get_or_compile(request.benchmark,
+                                                       params)
+            self.cache_hits += hit
+            self.compiled += not hit
+            path = self.cache.entry_path(key)
+        else:
+            profile = get_profile(request.benchmark)
+            workload = profile.build(num_cores=params.num_cores,
+                                     refs_per_core=params.refs_per_core,
+                                     seed=params.seed, scale=params.scale)
+            for stream in workload.streams:
+                validate_stream(stream)
+            blob = encode_workload(workload, validated=True)
+            container = decode_container(blob)
+            self.compiled += 1
+            path = ""
+        self.containers[key] = container
+        if self.arena is not None:
+            if blob is None:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            name = self.arena.publish(key, blob)
+            self.refs[key] = workload_shm.WorkloadRef(
+                benchmark=request.benchmark, key=key, path=path,
+                shm_name=name)
+        elif self.parallel and path:
+            self.refs[key] = workload_shm.WorkloadRef(
+                benchmark=request.benchmark, key=key, path=path)
+
+    def workload(self, request):
+        """A fresh replay workload for one serial run, or None."""
+        key = params_workload_key(request.benchmark, request.params)
+        container = self.containers.get(key)
+        if container is None:
+            return None
+        return container.workload()
+
+    def release(self) -> None:
+        """Unlink shared segments and drop container buffers."""
+        if self.arena is not None:
+            self.arena.release()
+            self.arena = None
+        for container in self.containers.values():
+            container.backing.close()
+        self.containers = {}
+        self.refs = {}
+
+
 def run_all(params: Optional[ExperimentParams] = None,
             benchmarks: Iterable[str] = (),
             out: TextIO = sys.stdout,
@@ -102,7 +196,9 @@ def run_all(params: Optional[ExperimentParams] = None,
             checkpoint_path: str = "",
             resume: bool = False,
             faults: FaultPlan = NO_FAULTS,
-            progress: Optional[TextIO] = None) -> CampaignResult:
+            progress: Optional[TextIO] = None,
+            workload_cache: str = "",
+            share_workloads: bool = True) -> CampaignResult:
     """Run the whole campaign, streaming rendered reports to ``out``.
 
     ``KeyboardInterrupt`` propagates to the caller after worker teardown;
@@ -110,6 +206,14 @@ def run_all(params: Optional[ExperimentParams] = None,
     on disk, so the same command with ``resume=True`` picks up where the
     interruption hit.  Per-run progress goes to ``progress`` (default
     stderr); the report stream on ``out`` stays byte-deterministic.
+
+    ``workload_cache`` names a directory for the content-addressed
+    packed workload cache (``--workload-cache``); a second campaign
+    with the same workload parameters replays from it without
+    regenerating a single trace.  ``share_workloads=False`` disables
+    workload compilation entirely (every run regenerates its own
+    streams) — the status-quo comparator the throughput benchmark and
+    equivalence tests measure against.
     """
     params = params or ExperimentParams.from_env()
     progress = progress if progress is not None else sys.stderr
@@ -144,24 +248,39 @@ def run_all(params: Optional[ExperimentParams] = None,
         progress.write(f"# [{done['count']}/{total}] "
                        f"{outcome.request.label} {state}\n")
 
-    simulate = None
-    if not parallel:
-        def simulate(request, fault):  # in-process: keep obs support
-            from .runner import simulate_run
-            obs = (runner.obs_factory(request.benchmark, request.scheme)
-                   if runner.obs_factory else None)
-            return simulate_run(request.benchmark, request.scheme,
-                                request.params, fault=fault, obs=obs)
+    workloads = (_CompiledWorkloads(workload_cache, parallel)
+                 if share_workloads else None)
+    try:
+        if workloads is not None:
+            requests = workloads.compile(requests)
+            progress.write(f"# workloads: {workloads.compiled} compiled, "
+                           f"{workloads.cache_hits} cached\n")
 
-    outcomes = execute_runs(requests,
-                            workers=params.workers,
-                            timeout_s=params.run_timeout_s,
-                            retry=retry,
-                            faults=faults,
-                            checkpoint=checkpoint,
-                            tracer=tracer,
-                            on_outcome=on_outcome,
-                            simulate=simulate)
+        simulate = None
+        if not parallel:
+            def simulate(request, fault):  # in-process: keep obs support
+                from .runner import simulate_run
+                obs = (runner.obs_factory(request.benchmark, request.scheme)
+                       if runner.obs_factory else None)
+                workload = (workloads.workload(request)
+                            if workloads is not None else None)
+                return simulate_run(request.benchmark, request.scheme,
+                                    request.params, fault=fault, obs=obs,
+                                    workload=workload)
+
+        outcomes = execute_runs(requests,
+                                workers=params.workers,
+                                timeout_s=params.run_timeout_s,
+                                retry=retry,
+                                faults=faults,
+                                checkpoint=checkpoint,
+                                tracer=tracer,
+                                on_outcome=on_outcome,
+                                simulate=simulate,
+                                cost=cost_function() if parallel else None)
+    finally:
+        if workloads is not None:
+            workloads.release()
 
     result = CampaignResult()
     for outcome in outcomes:

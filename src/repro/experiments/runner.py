@@ -128,8 +128,8 @@ def _env_value(name: str, default, convert):
 
 
 def simulate_run(benchmark: str, scheme: str, params: ExperimentParams,
-                 fault=None, obs: Optional[Observability] = None
-                 ) -> "BenchmarkRun":
+                 fault=None, obs: Optional[Observability] = None,
+                 workload=None) -> "BenchmarkRun":
     """Simulate one (benchmark, scheme) pair from scratch.
 
     The single simulation entry point shared by the in-process runner
@@ -137,15 +137,24 @@ def simulate_run(benchmark: str, scheme: str, params: ExperimentParams,
     run executes.  ``fault`` is a ``(kind, n)`` directive from
     :class:`~repro.faults.FaultPlan` (``raise`` / ``corrupt-trace``;
     process-level kinds are handled by the executor).
+
+    ``workload`` replays a pre-compiled workload (a packed cache /
+    shared-memory attach, see :mod:`repro.workloads.cache`) instead of
+    regenerating one; results are bit-identical either way.  Streams
+    whose ``validated`` flag is set (a trusted cache hit) skip
+    re-validation — any mutation, including the ``corrupt-trace``
+    fault, clears the flag, so damage is still caught.
     """
     profile = get_profile(benchmark)
-    workload = profile.build(num_cores=params.num_cores,
-                             refs_per_core=params.refs_per_core,
-                             seed=params.seed, scale=params.scale)
+    if workload is None:
+        workload = profile.build(num_cores=params.num_cores,
+                                 refs_per_core=params.refs_per_core,
+                                 seed=params.seed, scale=params.scale)
     if fault is not None and fault[0] == "corrupt-trace":
         corrupt_streams(workload.streams)
     for stream in workload.streams:
-        validate_stream(stream)
+        if not getattr(stream, "validated", False):
+            validate_stream(stream)
     machine_faults = (RaiseAtTranslation(fault[1])
                       if fault is not None and fault[0] == "raise" else None)
     machine = Machine(params.system_config(), scheme=scheme,

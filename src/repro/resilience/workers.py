@@ -55,6 +55,11 @@ class RunRequest:
     benchmark: str
     scheme: str
     params: object  # ExperimentParams; duck-typed to avoid an import cycle
+    #: Optional WorkloadRef (repro.workloads.shm) naming a pre-compiled
+    #: workload the worker should attach instead of regenerating one.
+    #: Never participates in the checkpoint key: replaying a compiled
+    #: workload is bit-identical to regenerating it.
+    workload_ref: object = None
 
     @property
     def label(self) -> str:
@@ -125,8 +130,26 @@ def _child_entry(request: RunRequest, fault: Optional[Tuple[str, int]],
 def _simulate(request: RunRequest, fault: Optional[Tuple[str, int]]):
     from ..experiments.runner import simulate_run
 
-    return simulate_run(request.benchmark, request.scheme, request.params,
-                        fault=fault)
+    if request.workload_ref is None:
+        return simulate_run(request.benchmark, request.scheme,
+                            request.params, fault=fault)
+    from ..common.errors import PackedTraceError
+    from ..workloads.shm import attach_container
+
+    try:
+        container = attach_container(request.workload_ref)
+    except PackedTraceError:
+        # The compiled workload is gone or damaged (parent released the
+        # segment, cache file torn).  Regenerating is always correct —
+        # the ref is an optimization, never the source of truth.
+        return simulate_run(request.benchmark, request.scheme,
+                            request.params, fault=fault)
+    try:
+        return simulate_run(request.benchmark, request.scheme,
+                            request.params, fault=fault,
+                            workload=container.workload())
+    finally:
+        container.backing.close()
 
 
 # -- the executor --------------------------------------------------------------
@@ -153,6 +176,7 @@ def execute_runs(requests: List[RunRequest],
                  tracer=NULL_TRACER,
                  on_outcome: Optional[Callable[[RunOutcome], None]] = None,
                  simulate: Optional[Callable] = None,
+                 cost: Optional[Callable[[RunRequest], float]] = None,
                  ) -> List[RunOutcome]:
     """Execute every request; never raises for per-run failures.
 
@@ -165,6 +189,13 @@ def execute_runs(requests: List[RunRequest],
     only — worker processes always import the canonical
     :func:`repro.experiments.runner.simulate_run`.  The campaign uses it
     to thread per-run observability through in-process execution.
+
+    ``cost`` estimates a request's wall-clock seconds (see
+    :func:`repro.experiments.schedule.cost_function`).  In pooled mode
+    the queue is dispatched longest-first (LPT), which bounds the
+    makespan wasted on stragglers; serial mode ignores it — order
+    cannot change serial wall-clock, and stable enumeration order keeps
+    progress output deterministic.
     """
     retry = retry or RetryPolicy()
     outcomes: Dict[str, RunOutcome] = {}
@@ -191,6 +222,9 @@ def execute_runs(requests: List[RunRequest],
                        on_outcome=on_outcome, outcomes=outcomes)
     if todo:
         if workers and workers > 1:
+            if cost is not None:
+                todo.sort(key=lambda attempt: cost(attempt.request),
+                          reverse=True)
             _run_pooled(todo, workers, context)
         else:
             _run_serial(todo, context, simulate or _simulate)

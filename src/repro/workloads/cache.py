@@ -1,0 +1,145 @@
+"""Content-addressed on-disk cache of compiled (packed) workloads.
+
+``profile.build(...)`` is deterministic in exactly five inputs —
+benchmark name, ``num_cores``, ``refs_per_core``, ``seed`` and
+``scale`` — yet the campaign engine used to re-run it inside every pool
+worker, once per scheme.  This cache compiles each distinct workload to
+the packed columnar format (:mod:`repro.workloads.packed`) once and
+keys the file by a content hash of those five inputs, the same
+canonical-JSON + sha256-prefix discipline as the checkpoint store's
+:func:`repro.resilience.checkpoint.run_key`.
+
+Simulation knobs (POM capacity, DRAM timings, scheme) deliberately do
+**not** participate in the key: they cannot change the reference
+stream, so every scheme of a sweep hits the same entry.  The packed
+format version *does* participate, so a layout change orphans stale
+entries instead of misreading them.
+
+Entries are written atomically and carry the format's ``validated``
+header flag: a cache hit whose flag is set skips ``validate_stream``
+re-validation (the satellite-3 fast path), while any corruption —
+bit-rot, torn writes, hand editing — fails the CRC and is treated as a
+miss after the damaged file is discarded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from .packed import (FORMAT_VERSION, load_packed, save_packed_workload)
+from ..common.errors import PackedTraceError
+
+#: Filename suffix for cache entries (packed workload containers).
+ENTRY_SUFFIX = ".pwl"
+
+
+def workload_key(benchmark: str, num_cores: int, refs_per_core: int,
+                 seed: int, scale: float) -> str:
+    """Content-hash key of one compiled workload.
+
+    Mirrors :func:`repro.resilience.checkpoint.run_key`: canonical JSON
+    with sorted keys, sha256, first 32 hex digits.  ``format`` pins the
+    packed layout version so incompatible entries never collide.
+    """
+    payload = {"format": FORMAT_VERSION, "benchmark": benchmark,
+               "num_cores": num_cores, "refs_per_core": refs_per_core,
+               "seed": seed, "scale": scale}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def params_workload_key(benchmark: str, params) -> str:
+    """:func:`workload_key` for an ExperimentParams-shaped object."""
+    return workload_key(benchmark, params.num_cores, params.refs_per_core,
+                        params.seed, params.scale)
+
+
+class WorkloadCache:
+    """Directory of packed workloads addressed by :func:`workload_key`.
+
+    The directory is created lazily on the first store; lookups against
+    a missing directory are plain misses.  ``hits`` / ``misses`` /
+    ``rejected`` counters feed the campaign progress line and tests.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.root, key + ENTRY_SUFFIX)
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.entry_path(key))
+
+    def load(self, key: str):
+        """The decoded container for ``key``, or None on a miss.
+
+        A present-but-damaged entry (CRC or header failure) is deleted
+        and counted in ``rejected`` — the caller regenerates and
+        re-stores, so one corrupted file costs one compile, never a
+        wrong result.
+        """
+        path = self.entry_path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            container = load_packed(path)
+        except PackedTraceError:
+            self.rejected += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return container
+
+    def store(self, key: str, workload, validated: bool = False) -> str:
+        """Pack ``workload`` into the cache atomically; returns the path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.entry_path(key)
+        save_packed_workload(path, workload, validated=validated)
+        return path
+
+    def get_or_compile(self, benchmark: str, params,
+                       validate: bool = True) -> Tuple[object, bool]:
+        """The packed workload for (benchmark, params): ``(container, hit)``.
+
+        On a miss the workload is generated via the suite profile,
+        validated (unless ``validate=False``), stored, and re-loaded
+        from the cache so hits and misses exercise the identical decode
+        path — one code path, one equivalence surface.
+        """
+        from .suite import get_profile
+        from .trace import validate_stream
+
+        key = params_workload_key(benchmark, params)
+        container = self.load(key)
+        if container is not None:
+            return container, True
+        profile = get_profile(benchmark)
+        workload = profile.build(num_cores=params.num_cores,
+                                 refs_per_core=params.refs_per_core,
+                                 seed=params.seed, scale=params.scale)
+        if validate:
+            for stream in workload.streams:
+                validate_stream(stream)
+        self.store(key, workload, validated=validate)
+        container = self.load(key)
+        if container is None:  # pragma: no cover - a write we just made
+            raise PackedTraceError("cache entry unreadable after store",
+                                   path=self.entry_path(key))
+        self.hits -= 1  # the re-load is not a real hit
+        return container, False
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "rejected": self.rejected}

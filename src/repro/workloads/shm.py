@@ -1,0 +1,197 @@
+"""Shared-memory workload arena: one packed copy, many worker attaches.
+
+The campaign parent compiles each distinct workload once
+(:mod:`repro.workloads.cache`), publishes its packed container into a
+POSIX shared-memory segment, and hands workers only the segment *name*
+(a :class:`WorkloadRef`).  Workers attach and decode zero-copy — the
+columns are ``memoryview`` casts straight over the shared pages, so a
+pool of N workers replays one physical copy of the trace instead of N
+regenerated ones.
+
+Lifecycle rules (tested in ``tests/resilience/test_shm_lifecycle.py``):
+
+* the parent owns every segment — :meth:`WorkloadArena.release` unlinks
+  them all and runs in the campaign's ``finally``, so completion,
+  ``WorkerCrash``, timeouts and Ctrl-C all clean up;
+* workers ``close()`` their attach but never unlink;
+* segment names embed the parent PID, so two concurrent campaigns on
+  one host cannot collide.
+
+CPython 3.11 quirk: ``SharedMemory`` registers every attach with the
+``resource_tracker``.  Under the default ``fork`` start method the
+child inherits the parent's tracker, which dedups the re-register and
+behaves; a child that *starts its own* tracker (spawn) would unlink the
+segment when it exits, destroying it for everyone else.
+:func:`attach_container` detects which case it is in and unregisters
+the child-side registration only when the tracker was not inherited.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from .packed import DecodedContainer, decode_container, encode_workload
+from ..common.errors import PackedTraceError
+
+try:
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - ancient pythons only
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+
+def shm_available() -> bool:
+    """Whether this platform offers POSIX shared memory."""
+    return shared_memory is not None
+
+
+class WorkloadRef(NamedTuple):
+    """Picklable pointer to a compiled workload a worker can open.
+
+    ``shm_name`` names a shared-memory segment published by the parent's
+    :class:`WorkloadArena`; ``path`` is the on-disk cache entry fallback
+    used when shared memory is unavailable (or in serial mode, where the
+    parent's container is passed directly and the ref is unused).
+    """
+
+    benchmark: str
+    key: str
+    path: str = ""
+    shm_name: str = ""
+
+
+def _tracker_inherited() -> bool:
+    """True when this process shares the parent's resource tracker.
+
+    Must be probed *before* ``SharedMemory(...)`` runs, because the
+    attach itself lazily starts a tracker if none exists.
+    """
+    if resource_tracker is None:  # pragma: no cover
+        return True
+    return resource_tracker._resource_tracker._fd is not None
+
+
+def attach_container(ref: WorkloadRef) -> DecodedContainer:
+    """Open the workload behind ``ref`` inside a worker, zero-copy.
+
+    Prefers the shared-memory segment; falls back to mmap-loading the
+    cache file when the ref carries no segment name.  The returned
+    container's ``backing`` closes the attach (never unlinks) — workers
+    release it after each run.
+    """
+    if ref.shm_name and shm_available():
+        inherited = _tracker_inherited()
+        try:
+            segment = shared_memory.SharedMemory(name=ref.shm_name)
+        except FileNotFoundError:
+            raise PackedTraceError(
+                "shared workload segment vanished (parent released it?)",
+                path=ref.shm_name) from None
+        if not inherited:
+            # This attach registered with a tracker the child started
+            # itself; left in place, tracker shutdown would *unlink* the
+            # parent-owned segment.  The parent remains responsible.
+            try:  # pragma: no cover - spawn-start-method path
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
+        return decode_container(segment.buf, path=ref.shm_name,
+                                owner=segment)
+    if ref.path:
+        from .packed import load_packed
+
+        return load_packed(ref.path)
+    raise PackedTraceError(f"workload ref for {ref.benchmark!r} carries "
+                           "neither a segment nor a cache path")
+
+
+class WorkloadArena:
+    """Parent-side registry of shared-memory workload segments.
+
+    ``publish`` copies one packed container into a fresh segment and
+    returns its name; ``release`` closes **and unlinks** everything.
+    Always call ``release`` in a ``finally`` — segments outlive the
+    process otherwise (they are files under /dev/shm).
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, "shared_memory.SharedMemory"] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._segments)
+
+    def publish(self, key: str, blob: bytes) -> str:
+        """Copy ``blob`` into a new segment; returns the segment name."""
+        if not shm_available():  # pragma: no cover - posix-only fallback
+            raise PackedTraceError("shared memory unavailable on this "
+                                   "platform")
+        name = f"pomtlb-wl-{key[:12]}-{os.getpid()}"
+        if name in self._segments:
+            return name
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=len(blob))
+        except FileExistsError:
+            # Leftover from a killed earlier campaign of this same PID
+            # (PID reuse): adopt by replacement.
+            stale = shared_memory.SharedMemory(name=name)
+            stale.close()
+            stale.unlink()
+            segment = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=len(blob))
+        segment.buf[:len(blob)] = blob
+        self._segments[key] = segment
+        return name
+
+    def publish_workload(self, key: str, workload,
+                         validated: bool = False) -> str:
+        """Encode + publish a suite workload (see :meth:`publish`)."""
+        return self.publish(key, encode_workload(workload,
+                                                 validated=validated))
+
+    def release(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        segments = list(self._segments.values())
+        self._segments.clear()
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - exported views remain
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "WorkloadArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a shared-memory segment ``name`` currently exists.
+
+    Used by lifecycle tests; attaches and immediately closes without
+    unlinking or leaving a tracker registration behind.
+    """
+    if not shm_available():  # pragma: no cover
+        return False
+    inherited = _tracker_inherited()
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    if not inherited:  # pragma: no cover - spawn path
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+    segment.close()
+    return True

@@ -81,79 +81,123 @@ def save_stream(stream: CoreStream, path: str) -> None:
             out.write(f"{ref.icount} {ref.vaddr:x} {'W' if ref.write else 'R'}\n")
 
 
+def _parse_header(inp, path: str) -> tuple:
+    """Parse the ``#pomtlb-trace`` header line; returns (core, vm, asid)."""
+    try:
+        header = inp.readline().strip()
+    except (EOFError, OSError) as exc:
+        # A torn gzip archive can fail on the very first read.
+        raise TraceFormatError(f"truncated trace file ({exc})",
+                               path=path, lineno=1) from None
+    if not header:
+        raise TraceFormatError("empty trace file (truncated?)",
+                               path=path, lineno=1)
+    if not header.startswith(_HEADER_PREFIX):
+        raise TraceFormatError("missing trace header",
+                               path=path, lineno=1, text=header)
+    fields = dict(part.split("=", 1) for part in header.split()[1:])
+    try:
+        return int(fields["core"]), int(fields["vm"]), int(fields["asid"])
+    except KeyError as missing:
+        raise TraceFormatError(f"header missing field {missing}",
+                               path=path, lineno=1, text=header) from None
+    except ValueError:
+        raise TraceFormatError("non-integer header field",
+                               path=path, lineno=1, text=header) from None
+
+
+def _iter_records(inp, path: str) -> Iterator[tuple]:
+    """Yield validated ``(icount, vaddr, write)`` tuples, one per line.
+
+    A generator so both loaders decode strictly line-by-line — gzip
+    included — and the packed loader never holds the whole trace as
+    Python objects.  Every diagnostic carries the file, the line number
+    and the offending text, so a corrupt trace points at its own damage
+    instead of surfacing as a simulator crash thousands of references
+    later.
+    """
+    lineno = 1
+    try:
+        for lineno, line in enumerate(inp, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 3:
+                raise TraceFormatError(
+                    "truncated record (expected '<icount> <vaddr-hex> "
+                    "<R|W>')", path=path, lineno=lineno,
+                    text=line.rstrip("\n"))
+            if parts[2] not in ("R", "W"):
+                raise TraceFormatError(
+                    f"bad access type {parts[2]!r} (expected R or W)",
+                    path=path, lineno=lineno, text=line.rstrip("\n"))
+            try:
+                icount = int(parts[0])
+                vaddr = int(parts[1], 16)
+            except ValueError:
+                raise TraceFormatError(
+                    "non-numeric record field", path=path, lineno=lineno,
+                    text=line.rstrip("\n")) from None
+            if icount < 0:
+                raise TraceFormatError(
+                    "negative instruction count", path=path,
+                    lineno=lineno, text=line.rstrip("\n"))
+            if vaddr < 0 or vaddr > _MAX_VADDR:
+                raise TraceFormatError(
+                    f"address out of range (not a {MAX_ADDRESS_BITS}-bit "
+                    "virtual address)", path=path, lineno=lineno,
+                    text=line.rstrip("\n"))
+            yield icount, vaddr, parts[2] == "W"
+    except (EOFError, OSError) as exc:
+        # gzip raises on a torn archive mid-iteration.
+        raise TraceFormatError(f"truncated trace file ({exc})",
+                               path=path, lineno=lineno) from None
+
+
 def load_stream(path: str) -> CoreStream:
     """Read one core's stream back from ``path``.
 
-    Validation is strict: every diagnostic carries the file, the line
-    number and the offending text, so a corrupt trace points at its own
-    damage instead of surfacing as a simulator crash thousands of
-    references later.
+    Strictly validated (see :func:`_iter_records`) and streamed
+    line-by-line even through gzip — the decompressed text is never
+    buffered whole.
     """
     with _open(path, "r") as inp:
-        try:
-            header = inp.readline().strip()
-        except (EOFError, OSError) as exc:
-            # A torn gzip archive can fail on the very first read.
-            raise TraceFormatError(f"truncated trace file ({exc})",
-                                   path=path, lineno=1) from None
-        if not header:
-            raise TraceFormatError("empty trace file (truncated?)",
-                                   path=path, lineno=1)
-        if not header.startswith(_HEADER_PREFIX):
-            raise TraceFormatError("missing trace header",
-                                   path=path, lineno=1, text=header)
-        fields = dict(part.split("=", 1) for part in header.split()[1:])
-        try:
-            stream = CoreStream(core=int(fields["core"]),
-                                vm_id=int(fields["vm"]),
-                                asid=int(fields["asid"]))
-        except KeyError as missing:
-            raise TraceFormatError(f"header missing field {missing}",
-                                   path=path, lineno=1,
-                                   text=header) from None
-        except ValueError:
-            raise TraceFormatError("non-integer header field",
-                                   path=path, lineno=1, text=header) from None
-        refs: List[MemoryReference] = []
-        lineno = 1
-        try:
-            for lineno, line in enumerate(inp, start=2):
-                parts = line.split()
-                if not parts:
-                    continue
-                if len(parts) != 3:
-                    raise TraceFormatError(
-                        "truncated record (expected '<icount> <vaddr-hex> "
-                        "<R|W>')", path=path, lineno=lineno,
-                        text=line.rstrip("\n"))
-                if parts[2] not in ("R", "W"):
-                    raise TraceFormatError(
-                        f"bad access type {parts[2]!r} (expected R or W)",
-                        path=path, lineno=lineno, text=line.rstrip("\n"))
-                try:
-                    icount = int(parts[0])
-                    vaddr = int(parts[1], 16)
-                except ValueError:
-                    raise TraceFormatError(
-                        "non-numeric record field", path=path, lineno=lineno,
-                        text=line.rstrip("\n")) from None
-                if icount < 0:
-                    raise TraceFormatError(
-                        "negative instruction count", path=path,
-                        lineno=lineno, text=line.rstrip("\n"))
-                if vaddr < 0 or vaddr > _MAX_VADDR:
-                    raise TraceFormatError(
-                        f"address out of range (not a {MAX_ADDRESS_BITS}-bit "
-                        "virtual address)", path=path, lineno=lineno,
-                        text=line.rstrip("\n"))
-                refs.append(MemoryReference(icount=icount, vaddr=vaddr,
-                                            write=parts[2] == "W"))
-        except (EOFError, OSError) as exc:
-            # gzip raises on a torn archive mid-iteration.
-            raise TraceFormatError(f"truncated trace file ({exc})",
-                                   path=path, lineno=lineno) from None
-        stream.references = refs
-        return stream
+        core, vm_id, asid = _parse_header(inp, path)
+        refs = [MemoryReference(icount=i, vaddr=v, write=w)
+                for i, v, w in _iter_records(inp, path)]
+        return CoreStream(core=core, vm_id=vm_id, asid=asid,
+                          references=refs)
+
+
+def load_stream_packed(path: str):
+    """Read a text trace straight into a packed columnar stream.
+
+    Same grammar and diagnostics as :func:`load_stream`, but records
+    stream directly into ``array('Q')`` columns (~17 bytes/record)
+    instead of a ``MemoryReference`` list (~120 bytes/record), so
+    converting a large trace never holds it as Python objects — this is
+    what ``pomtlb trace pack`` runs.
+    """
+    from array import array
+
+    from .packed import PackedStream
+
+    with _open(path, "r") as inp:
+        core, vm_id, asid = _parse_header(inp, path)
+        icounts = array("Q")
+        vaddrs = array("Q")
+        writebits = bytearray()
+        count = 0
+        for icount, vaddr, write in _iter_records(inp, path):
+            if not count & 7:
+                writebits.append(0)
+            if write:
+                writebits[-1] |= 1 << (count & 7)
+            icounts.append(icount)
+            vaddrs.append(vaddr)
+            count += 1
+        return PackedStream(core, vm_id, asid, icounts, vaddrs,
+                            bytes(writebits), count)
 
 
 def validate_stream(stream: CoreStream) -> None:
@@ -161,10 +205,24 @@ def validate_stream(stream: CoreStream) -> None:
 
     Instruction counts must be non-decreasing (references issue in
     program order) and addresses must fit a 64-bit virtual address.
-    Runs before every simulation, so a corrupt stream — hand-edited,
-    torn, or injected by the fault harness — fails with a diagnostic
-    instead of poisoning results.
+    Runs before every simulation (except on validated workload-cache
+    hits, whose header flag records this check already passed), so a
+    corrupt stream — hand-edited, torn, or injected by the fault
+    harness — fails with a diagnostic instead of poisoning results.
     """
+    icounts = getattr(stream, "icounts", None)
+    if icounts is not None:
+        # Columnar fast path: u64 columns cannot hold an out-of-range
+        # address, so only icount monotonicity needs checking.
+        last = -1
+        for position, icount in enumerate(icounts):
+            if icount < last:
+                raise TraceFormatError(
+                    f"record {position}: icount {icount} goes backwards "
+                    f"(previous {last})", lineno=position + 1,
+                    text=repr(stream.references[position]))
+            last = icount
+        return
     last = -1
     for position, ref in enumerate(stream.references):
         if ref.icount < last:
@@ -221,14 +279,21 @@ def interleave_batched(streams: Iterable[CoreStream]) -> Iterator[tuple]:
     heap = []
     for stream in streams:
         refs = stream.references
-        if refs:
-            heap.append((refs[0].icount, stream.core, len(sources)))
-            sources.append((stream, refs, len(refs)))
+        if len(refs):
+            # Packed streams expose their icount column; keying chunk
+            # boundaries off it skips MemoryReference materialization.
+            icounts = getattr(stream, "icounts", None)
+            if icounts is None:
+                first = refs[0].icount
+            else:
+                first = icounts[0]
+            heap.append((first, stream.core, len(sources)))
+            sources.append((stream, refs, icounts, len(refs)))
             positions.append(0)
     heapq.heapify(heap)
     while heap:
         _icount, core, index = heapq.heappop(heap)
-        stream, refs, length = sources[index]
+        stream, refs, icounts, length = sources[index]
         lo = positions[index]
         hi = lo + 1
         if heap:
@@ -237,12 +302,17 @@ def interleave_batched(streams: Iterable[CoreStream]) -> Iterator[tuple]:
             # Strict '<' is exact: full tuples never compare equal
             # (stream indices are unique).
             head = heap[0]
-            while hi < length and (refs[hi].icount, core, index) < head:
-                hi += 1
+            if icounts is None:
+                while hi < length and (refs[hi].icount, core, index) < head:
+                    hi += 1
+            else:
+                while hi < length and (icounts[hi], core, index) < head:
+                    hi += 1
         else:
             hi = length
         positions[index] = hi
         yield stream, lo, hi
         if hi < length:
-            heapq.heappush(heap, (refs[hi].icount, core, index))
+            nxt = refs[hi].icount if icounts is None else icounts[hi]
+            heapq.heappush(heap, (nxt, core, index))
 

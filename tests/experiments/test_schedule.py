@@ -1,0 +1,128 @@
+"""Makespan-aware scheduling: rate loading and LPT dispatch order."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.runner import ExperimentParams
+from repro.experiments.schedule import (
+    DEFAULT_REFS_PER_SEC,
+    cost_function,
+    expected_cost,
+    load_rates,
+)
+from repro.resilience import RunRequest
+
+PARAMS = ExperimentParams(num_cores=2, refs_per_core=500, scale=0.05, seed=1)
+
+
+def bench_json(tmp_path, schemes):
+    path = tmp_path / "BENCH_engine.json"
+    path.write_text(json.dumps(
+        {"engine_throughput": {"schemes": schemes}}))
+    return str(path)
+
+
+class TestLoadRates:
+    def test_missing_file_falls_back_to_defaults(self, tmp_path):
+        rates = load_rates(str(tmp_path / "nope.json"))
+        assert rates == DEFAULT_REFS_PER_SEC
+        assert rates is not DEFAULT_REFS_PER_SEC  # caller-safe copy
+
+    def test_damaged_json_falls_back(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text("{not json")
+        assert load_rates(str(path)) == DEFAULT_REFS_PER_SEC
+
+    def test_missing_section_falls_back(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({"campaign": {}}))
+        assert load_rates(str(path)) == DEFAULT_REFS_PER_SEC
+
+    def test_measured_rates_override_defaults(self, tmp_path):
+        path = bench_json(tmp_path, {"pom": {"refs_per_sec": 1234.5}})
+        rates = load_rates(path)
+        assert rates["pom"] == 1234.5
+        # Schemes the file does not measure keep their frozen defaults.
+        assert rates["baseline"] == DEFAULT_REFS_PER_SEC["baseline"]
+
+    def test_zero_and_negative_rates_ignored(self, tmp_path):
+        path = bench_json(tmp_path, {"pom": {"refs_per_sec": 0},
+                                     "tsb": {"refs_per_sec": -5}})
+        rates = load_rates(path)
+        assert rates["pom"] == DEFAULT_REFS_PER_SEC["pom"]
+        assert rates["tsb"] == DEFAULT_REFS_PER_SEC["tsb"]
+
+
+class TestExpectedCost:
+    def test_slower_scheme_costs_more(self):
+        rates = dict(DEFAULT_REFS_PER_SEC)
+        fast = RunRequest("gups", "baseline", PARAMS)
+        slow = RunRequest("gups", "pom_skewed", PARAMS)
+        assert expected_cost(slow, rates) > expected_cost(fast, rates)
+
+    def test_more_references_cost_more(self):
+        rates = dict(DEFAULT_REFS_PER_SEC)
+        small = RunRequest("gups", "pom", PARAMS)
+        big = RunRequest("gups", "pom",
+                         dataclasses.replace(PARAMS, num_cores=8))
+        assert expected_cost(big, rates) == \
+            4 * expected_cost(small, rates)
+
+    def test_unknown_scheme_gets_midpack_rate(self):
+        cost = expected_cost(RunRequest("gups", "experimental", PARAMS), {})
+        assert 0 < cost < PARAMS.num_cores * PARAMS.refs_per_core
+
+
+class TestCostFunction:
+    def test_resolves_rates_once(self, tmp_path):
+        path = bench_json(tmp_path, {"pom": {"refs_per_sec": 100.0}})
+        cost = cost_function(path)
+        request = RunRequest("gups", "pom", PARAMS)
+        before = cost(request)
+        bench_json(tmp_path, {"pom": {"refs_per_sec": 999.0}})
+        assert cost(request) == before  # no re-read per call
+
+    def test_explicit_rates_skip_disk(self):
+        cost = cost_function(rates={"pom": 500.0})
+        assert cost(RunRequest("gups", "pom", PARAMS)) == \
+            PARAMS.num_cores * PARAMS.refs_per_core / 500.0
+
+
+class TestLptDispatch:
+    def test_pooled_executor_sorts_longest_first(self, monkeypatch):
+        """The executor hands the pool the todo list longest-first."""
+        from repro.resilience import workers as workers_mod
+
+        dispatched = []
+
+        def fake_run_pooled(todo, workers, context):
+            dispatched.extend(a.request.scheme for a in todo)
+            for attempt in todo:
+                outcome = context.outcomes[attempt.key]
+                outcome.run = object()
+
+        monkeypatch.setattr(workers_mod, "_run_pooled", fake_run_pooled)
+        requests = [RunRequest("gups", scheme, PARAMS)
+                    for scheme in ("baseline", "pom_skewed", "pom")]
+        workers_mod.execute_runs(requests, workers=2,
+                                 cost=cost_function(rates=dict(
+                                     DEFAULT_REFS_PER_SEC)))
+        assert dispatched == ["pom_skewed", "pom", "baseline"]
+
+    def test_serial_order_is_untouched(self, monkeypatch):
+        from repro.resilience import workers as workers_mod
+
+        executed = []
+
+        def fake_simulate(request, fault):
+            executed.append(request.scheme)
+            return object()
+
+        requests = [RunRequest("gups", scheme, PARAMS)
+                    for scheme in ("baseline", "pom_skewed", "pom")]
+        workers_mod.execute_runs(requests, workers=0,
+                                 simulate=fake_simulate,
+                                 cost=cost_function())
+        assert executed == ["baseline", "pom_skewed", "pom"]

@@ -1,0 +1,164 @@
+"""Differential replay equivalence (ISSUE 4 acceptance criterion).
+
+The packed workload pipeline is a pure transport optimisation: for every
+scheme, replaying a workload from the packed columnar format — whether
+decoded in-process, mmap'd from the on-disk cache, or attached through a
+shared-memory segment — must produce *bit-identical* results to
+regenerating the streams from the profile.  Identical means every
+``SimulationResult`` counter, every ``StatRegistry`` value, and every
+performance-model quantity; campaign reports must come out
+byte-identical end to end.
+"""
+
+import dataclasses
+import io
+
+import pytest
+
+from repro.experiments import campaign
+from repro.experiments.runner import ExperimentParams, simulate_run
+from repro.workloads.cache import WorkloadCache
+from repro.workloads.packed import decode_container, encode_workload
+from repro.workloads.shm import (
+    WorkloadArena,
+    WorkloadRef,
+    attach_container,
+    shm_available,
+)
+from repro.workloads.suite import get_profile
+from repro.workloads.trace import validate_stream
+
+SCHEMES = ("baseline", "pom", "pom_skewed", "shared_l2", "tsb")
+
+PARAMS = ExperimentParams(num_cores=2, refs_per_core=250, scale=0.05,
+                          seed=11)
+
+
+def fingerprint(run):
+    """Everything observable about one simulation, for exact comparison."""
+    result = run.result
+    return {
+        "scheme": result.scheme,
+        "references": result.references,
+        "instructions": result.instructions,
+        "l2_tlb_misses": result.l2_tlb_misses,
+        "penalty_cycles": result.penalty_cycles,
+        "translation_cycles": result.translation_cycles,
+        "data_cycles": result.data_cycles,
+        "page_walks": result.page_walks,
+        "stats": result.stats.as_nested_dict(),
+        "performance": dataclasses.astuple(run.performance),
+    }
+
+
+def build_workload(bench):
+    profile = get_profile(bench)
+    workload = profile.build(num_cores=PARAMS.num_cores,
+                             refs_per_core=PARAMS.refs_per_core,
+                             seed=PARAMS.seed, scale=PARAMS.scale)
+    for stream in workload.streams:
+        validate_stream(stream)
+    return workload
+
+
+@pytest.mark.parametrize("bench", ["gups", "graph500"])
+class TestReplayModes:
+    def test_packed_replay_is_bit_identical(self, bench):
+        container = decode_container(
+            encode_workload(build_workload(bench), validated=True))
+        try:
+            for scheme in SCHEMES:
+                generated = simulate_run(bench, scheme, PARAMS)
+                packed = simulate_run(bench, scheme, PARAMS,
+                                      workload=container.workload())
+                assert fingerprint(packed) == fingerprint(generated), scheme
+        finally:
+            container.backing.close()
+
+    def test_cache_file_replay_is_bit_identical(self, bench, tmp_path):
+        cache = WorkloadCache(str(tmp_path / "wl"))
+        container, _ = cache.get_or_compile(bench, PARAMS)
+        try:
+            for scheme in SCHEMES:
+                generated = simulate_run(bench, scheme, PARAMS)
+                cached = simulate_run(bench, scheme, PARAMS,
+                                      workload=container.workload())
+                assert fingerprint(cached) == fingerprint(generated), scheme
+        finally:
+            container.backing.close()
+
+    @pytest.mark.skipif(not shm_available(), reason="no POSIX shm")
+    def test_shared_memory_replay_is_bit_identical(self, bench):
+        workload = build_workload(bench)
+        with WorkloadArena() as arena:
+            name = arena.publish_workload("eq" + "0" * 30, workload,
+                                          validated=True)
+            container = attach_container(
+                WorkloadRef(benchmark=bench, key="eq" + "0" * 30,
+                            shm_name=name))
+            try:
+                for scheme in SCHEMES:
+                    generated = simulate_run(bench, scheme, PARAMS)
+                    shared = simulate_run(bench, scheme, PARAMS,
+                                          workload=container.workload())
+                    assert fingerprint(shared) == \
+                        fingerprint(generated), scheme
+            finally:
+                container.backing.close()
+
+    def test_one_container_many_replays(self, bench):
+        """Back-to-back replays off one container don't interfere."""
+        container = decode_container(
+            encode_workload(build_workload(bench), validated=True))
+        try:
+            first = simulate_run(bench, "pom", PARAMS,
+                                 workload=container.workload())
+            second = simulate_run(bench, "pom", PARAMS,
+                                  workload=container.workload())
+            assert fingerprint(first) == fingerprint(second)
+        finally:
+            container.backing.close()
+
+
+TINY = ExperimentParams(num_cores=1, refs_per_core=300, scale=0.02, seed=5,
+                        max_retries=0, retry_backoff_s=0.0)
+
+
+def campaign_text(params=TINY, **kwargs):
+    out = io.StringIO()
+    result = campaign.run_all(params, ["gups"], out=out,
+                              progress=io.StringIO(), **kwargs)
+    assert not result.failures
+    return out.getvalue()
+
+
+def strip_params_line(text):
+    """Drop the one header line that legitimately differs (workers=)."""
+    return "\n".join(line for line in text.splitlines()
+                     if not line.startswith("# params:"))
+
+
+class TestCampaignEquivalence:
+    def test_serial_shared_matches_status_quo(self):
+        status_quo = campaign_text(share_workloads=False)
+        shared = campaign_text()
+        assert shared == status_quo
+
+    def test_cold_and_warm_cache_match_status_quo(self, tmp_path):
+        status_quo = campaign_text(share_workloads=False)
+        cold = campaign_text(workload_cache=str(tmp_path / "wl"))
+        warm = campaign_text(workload_cache=str(tmp_path / "wl"))
+        assert cold == status_quo
+        assert warm == status_quo
+
+    @pytest.mark.skipif(not shm_available(), reason="no POSIX shm")
+    def test_pooled_shm_matches_pooled_status_quo(self, tmp_path):
+        pooled = dataclasses.replace(TINY, workers=2)
+        status_quo = campaign_text(pooled, include_sensitivity=False,
+                                   share_workloads=False)
+        shm = campaign_text(pooled, include_sensitivity=False,
+                            workload_cache=str(tmp_path / "wl"))
+        assert shm == status_quo
+        # And across worker counts only the params header line differs.
+        serial = campaign_text(include_sensitivity=False)
+        assert strip_params_line(shm) == strip_params_line(serial)

@@ -1,0 +1,174 @@
+"""Shared-memory workload segment lifecycle (ISSUE 4, satellite 4).
+
+The campaign parent owns every published segment; they must be unlinked
+when the campaign completes, and just as reliably when it degrades —
+worker crashes, run timeouts, Ctrl-C.  A leaked segment is a leaked
+file under /dev/shm that outlives the process.
+"""
+
+import io
+
+import pytest
+
+from repro.common.errors import PackedTraceError
+from repro.experiments import campaign
+from repro.experiments.runner import ExperimentParams
+from repro.faults import FaultPlan
+from repro.workloads import shm as workload_shm
+from repro.workloads.packed import encode_workload
+from repro.workloads.shm import (
+    WorkloadArena,
+    WorkloadRef,
+    attach_container,
+    segment_exists,
+    shm_available,
+)
+from repro.workloads.suite import get_profile
+
+pytestmark = pytest.mark.skipif(not shm_available(),
+                                reason="platform lacks POSIX shared memory")
+
+POOLED = ExperimentParams(num_cores=1, refs_per_core=300, scale=0.02,
+                          seed=5, workers=2, max_retries=0,
+                          retry_backoff_s=0.0, run_timeout_s=60.0)
+
+
+def small_workload():
+    return get_profile("gups").build(num_cores=1, refs_per_core=50,
+                                     seed=3, scale=0.05)
+
+
+class _RecordingArena(WorkloadArena):
+    """Arena that remembers every segment name it ever published."""
+
+    published = []
+
+    def publish(self, key, blob):
+        name = super().publish(key, blob)
+        _RecordingArena.published.append(name)
+        return name
+
+
+@pytest.fixture
+def recorded_arena(monkeypatch):
+    _RecordingArena.published = []
+    monkeypatch.setattr(workload_shm, "WorkloadArena", _RecordingArena)
+    return _RecordingArena
+
+
+def run_pooled(**kwargs):
+    return campaign.run_all(POOLED, ["gups"], out=io.StringIO(),
+                            progress=io.StringIO(),
+                            include_sensitivity=False, **kwargs)
+
+
+class TestArena:
+    def test_publish_then_release_unlinks(self):
+        arena = WorkloadArena()
+        name = arena.publish_workload("a" * 32, small_workload())
+        assert segment_exists(name)
+        arena.release()
+        assert not segment_exists(name)
+
+    def test_release_is_idempotent(self):
+        arena = WorkloadArena()
+        arena.publish_workload("b" * 32, small_workload())
+        arena.release()
+        arena.release()
+        assert len(arena) == 0
+
+    def test_context_manager_releases_on_error(self):
+        with pytest.raises(RuntimeError):
+            with WorkloadArena() as arena:
+                name = arena.publish_workload("c" * 32, small_workload())
+                raise RuntimeError("campaign blew up")
+        assert not segment_exists(name)
+
+    def test_republish_same_key_is_one_segment(self):
+        blob = encode_workload(small_workload())
+        with WorkloadArena() as arena:
+            first = arena.publish("d" * 32, blob)
+            second = arena.publish("d" * 32, blob)
+            assert first == second
+            assert len(arena) == 1
+
+    def test_stale_same_name_segment_is_replaced(self):
+        from multiprocessing import shared_memory
+
+        blob = encode_workload(small_workload())
+        arena = WorkloadArena()
+        name = arena.publish("e" * 32, blob)
+        # Simulate a leftover from a killed campaign with a reused PID:
+        # the name is taken but the arena must adopt it by replacement.
+        arena._segments.clear()                # forget, don't unlink
+        orphan = shared_memory.SharedMemory(name=name)
+        try:
+            replacement = arena.publish("e" * 32, blob)
+            assert replacement == name
+            assert segment_exists(name)
+        finally:
+            orphan.close()
+            arena.release()
+        assert not segment_exists(name)
+
+
+class TestAttach:
+    def test_worker_attach_does_not_unlink(self):
+        workload = small_workload()
+        with WorkloadArena() as arena:
+            name = arena.publish_workload("f" * 32, workload,
+                                          validated=True)
+            ref = WorkloadRef(benchmark="gups", key="f" * 32,
+                              shm_name=name)
+            container = attach_container(ref)
+            assert list(container.streams[0].references) == \
+                list(workload.streams[0].references)
+            container.backing.close()
+            assert segment_exists(name)        # close != unlink
+        assert not segment_exists(name)
+
+    def test_vanished_segment_is_a_packed_trace_error(self):
+        ref = WorkloadRef(benchmark="gups", key="0" * 32,
+                          shm_name="pomtlb-wl-never-existed-xyz")
+        with pytest.raises(PackedTraceError, match="vanished"):
+            attach_container(ref)
+
+    def test_empty_ref_rejected(self):
+        with pytest.raises(PackedTraceError, match="neither"):
+            attach_container(WorkloadRef(benchmark="gups", key="0" * 32))
+
+
+class TestCampaignLifecycle:
+    def test_segments_unlinked_after_completion(self, recorded_arena):
+        result = run_pooled()
+        assert not result.failures
+        assert recorded_arena.published     # pooled campaign used shm
+        for name in recorded_arena.published:
+            assert not segment_exists(name)
+
+    def test_segments_unlinked_after_worker_crash(self, recorded_arena):
+        result = run_pooled(faults=FaultPlan.parse("crash@gups/pom#*"))
+        assert {f.error.type for f in result.failures} == {"WorkerCrash"}
+        assert recorded_arena.published
+        for name in recorded_arena.published:
+            assert not segment_exists(name)
+
+    def test_segments_unlinked_after_timeout(self, recorded_arena):
+        import dataclasses
+
+        quick = dataclasses.replace(POOLED, run_timeout_s=1.0)
+        result = campaign.run_all(
+            quick, ["gups"], out=io.StringIO(), progress=io.StringIO(),
+            include_sensitivity=False,
+            faults=FaultPlan.parse("hang@gups/tsb#*"))
+        assert {f.error.type for f in result.failures} == {"RunTimeout"}
+        assert recorded_arena.published
+        for name in recorded_arena.published:
+            assert not segment_exists(name)
+
+    def test_segments_unlinked_after_interrupt(self, recorded_arena):
+        with pytest.raises(KeyboardInterrupt):
+            run_pooled(faults=FaultPlan.parse("interrupt@gups/baseline#1"))
+        assert recorded_arena.published
+        for name in recorded_arena.published:
+            assert not segment_exists(name)

@@ -1,0 +1,285 @@
+"""Unit tests for the packed binary columnar trace format."""
+
+import gzip
+import struct
+
+import pytest
+
+from repro.common.errors import PackedTraceError
+from repro.workloads.packed import (
+    BYTES_PER_RECORD,
+    FORMAT_VERSION,
+    MAGIC,
+    PackedStream,
+    decode_container,
+    encode_streams,
+    encode_workload,
+    load_packed,
+    pack_stream,
+    save_packed,
+    unpack_stream,
+)
+from repro.workloads.suite import get_profile
+from repro.workloads.trace import CoreStream, MemoryReference, validate_stream
+
+
+def make_stream(core=0, n=5, start=0):
+    refs = [MemoryReference(start + i * 10, 0x1000 * i, i % 2 == 0)
+            for i in range(n)]
+    return CoreStream(core=core, vm_id=1, asid=2, references=refs)
+
+
+class TestPackUnpack:
+    def test_roundtrip_exact(self):
+        stream = make_stream(n=17)
+        packed = pack_stream(stream)
+        assert list(packed.references) == list(stream.references)
+        assert unpack_stream(packed).references == list(stream.references)
+
+    def test_metadata_preserved(self):
+        packed = pack_stream(make_stream(core=3))
+        assert (packed.core, packed.vm_id, packed.asid) == (3, 1, 2)
+
+    def test_len_iter_instructions_match_corestream(self):
+        stream = make_stream(n=9)
+        packed = pack_stream(stream)
+        assert len(packed) == len(stream)
+        assert list(packed) == list(stream)
+        assert packed.instructions == stream.instructions
+
+    def test_empty_stream(self):
+        packed = pack_stream(CoreStream(core=0, vm_id=0, asid=1))
+        assert len(packed) == 0
+        assert packed.instructions == 0
+        assert list(packed.references) == []
+
+    def test_64bit_addresses_survive(self):
+        refs = [MemoryReference(1, (1 << 64) - 1, True),
+                MemoryReference(2, 0, False)]
+        packed = pack_stream(CoreStream(0, 0, 1, refs))
+        assert list(packed.references) == refs
+
+    def test_refview_slice_and_negative_index(self):
+        stream = make_stream(n=8)
+        packed = pack_stream(stream)
+        assert packed.references[2:5] == list(stream.references)[2:5]
+        assert packed.references[-1] == stream.references[-1]
+        with pytest.raises(IndexError):
+            packed.references[8]
+
+
+class TestDepack:
+    """Assigning ``references`` de-packs the stream (fault injection)."""
+
+    def test_references_setter_depacks(self):
+        packed = pack_stream(make_stream(n=6), validated=True)
+        refs = list(packed.references)
+        refs[3] = refs[3]._replace(vaddr=0xdead000)
+        packed.references = refs
+        assert packed.columns() is None
+        assert packed.icounts is None
+        assert not packed.validated
+        assert packed.references[3].vaddr == 0xdead000
+        assert len(packed) == 6
+
+    def test_view_isolates_mutation(self):
+        base = pack_stream(make_stream(n=6), validated=True)
+        view = base.view()
+        view.references = []
+        assert len(view) == 0 and not view.validated
+        assert len(base) == 6 and base.validated
+        assert base.columns() is not None
+
+    def test_view_of_depacked_stream_copies(self):
+        base = pack_stream(make_stream(n=4))
+        base.references = list(base.references)[:2]
+        view = base.view()
+        view.references = []
+        assert len(base) == 2
+
+
+class TestContainer:
+    def test_streams_roundtrip(self):
+        streams = [make_stream(core=c, n=5 + c) for c in range(3)]
+        blob = encode_streams(streams, benchmark="gups", seed=7, scale=0.5,
+                              warmup_by_core={0: 2, 2: 3}, validated=True)
+        container = decode_container(blob)
+        assert container.benchmark == "gups"
+        assert container.seed == 7 and container.scale == 0.5
+        assert container.validated
+        assert container.warmup_by_core == {0: 2, 2: 3}
+        assert container.warmup_total == 5
+        for orig, packed in zip(streams, container.streams):
+            assert packed.validated
+            assert list(packed.references) == list(orig.references)
+        container.backing.close()
+
+    def test_empty_stream_in_container(self):
+        blob = encode_streams([CoreStream(0, 0, 1)])
+        container = decode_container(blob)
+        assert len(container.streams) == 1
+        assert len(container.streams[0]) == 0
+        container.backing.close()
+
+    def test_container_size_is_columnar(self):
+        n = 1000
+        blob = encode_streams([make_stream(n=n)])
+        assert len(blob) < n * BYTES_PER_RECORD + 200
+
+    def test_workload_roundtrip(self):
+        profile = get_profile("gups")
+        workload = profile.build(num_cores=2, refs_per_core=100, seed=1,
+                                 scale=0.05)
+        container = decode_container(encode_workload(workload))
+        rebuilt = container.workload()
+        assert rebuilt.profile.name == "gups"
+        assert rebuilt.warmup_by_core == workload.warmup_by_core
+        assert rebuilt.seed == workload.seed
+        assert rebuilt.scale == workload.scale
+        for orig, packed in zip(workload.streams, rebuilt.streams):
+            assert list(packed.references) == list(orig.references)
+        container.backing.close()
+
+    def test_workload_streams_are_views(self):
+        profile = get_profile("gups")
+        workload = profile.build(num_cores=1, refs_per_core=50, seed=1,
+                                 scale=0.05)
+        container = decode_container(encode_workload(workload,
+                                                     validated=True))
+        first = container.workload()
+        first.streams[0].references = []  # de-pack one run's copy
+        second = container.workload()
+        assert len(second.streams[0]) == len(workload.streams[0])
+        assert second.streams[0].validated
+        container.backing.close()
+
+
+class TestCorruptionDetection:
+    def blob(self, validated=False):
+        return encode_streams([make_stream(n=20)], benchmark="gups",
+                              validated=validated)
+
+    def test_every_byte_position_detected(self):
+        blob = self.blob()
+        # Exhaustive over the whole container: header, name, table and
+        # payload damage must all fail loudly, never decode quietly.
+        for position in range(len(blob)):
+            damaged = bytearray(blob)
+            damaged[position] ^= 0xFF
+            if bytes(damaged) == blob:  # pragma: no cover
+                continue
+            with pytest.raises(PackedTraceError):
+                decode_container(bytes(damaged))
+
+    def test_flipped_validated_flag_detected(self):
+        # Satellite 3's threat model: corruption must not grant the
+        # validation waiver.
+        blob = bytearray(self.blob(validated=False))
+        flags_offset = struct.calcsize("<8sHH") - 2
+        blob[flags_offset] |= 1
+        with pytest.raises(PackedTraceError, match="checksum"):
+            decode_container(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = self.blob()
+        for cut in (0, 4, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(PackedTraceError):
+                decode_container(blob[:cut])
+
+    def test_bad_magic_message(self):
+        with pytest.raises(PackedTraceError, match="magic"):
+            decode_container(b"NOTATRACE" + self.blob()[9:])
+
+    def test_version_skew_rejected(self):
+        blob = bytearray(self.blob())
+        blob[len(MAGIC):len(MAGIC) + 2] = struct.pack(
+            "<H", FORMAT_VERSION + 1)
+        with pytest.raises(PackedTraceError, match="version"):
+            decode_container(bytes(blob))
+
+    def test_error_names_path(self):
+        with pytest.raises(PackedTraceError, match="wl.pwl"):
+            decode_container(b"short", path="wl.pwl")
+
+
+class TestFiles:
+    def test_plain_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wl.pwl")
+        streams = [make_stream(core=c, n=10) for c in range(2)]
+        save_packed(path, streams, benchmark="gcc", validated=True)
+        container = load_packed(path)
+        assert container.benchmark == "gcc" and container.validated
+        for orig, packed in zip(streams, container.streams):
+            assert list(packed.references) == list(orig.references)
+        container.backing.close()
+
+    def test_gzip_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wl.pwl.gz")
+        save_packed(path, [make_stream(n=10)])
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"  # actually gzipped
+        container = load_packed(path)
+        assert list(container.streams[0].references) == \
+            list(make_stream(n=10).references)
+        container.backing.close()
+
+    def test_gzip_deterministic_bytes(self, tmp_path):
+        a, b = str(tmp_path / "a.pwl.gz"), str(tmp_path / "b.pwl.gz")
+        save_packed(a, [make_stream(n=10)])
+        save_packed(b, [make_stream(n=10)])
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.pwl"
+        path.write_bytes(b"")
+        with pytest.raises(PackedTraceError, match="empty|truncated"):
+            load_packed(str(path))
+
+    def test_torn_gzip_rejected(self, tmp_path):
+        path = str(tmp_path / "wl.pwl.gz")
+        save_packed(path, [make_stream(n=500)])
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[:len(data) // 2])
+        with pytest.raises(PackedTraceError, match="gzip|checksum"):
+            load_packed(path)
+
+    def test_mmap_close_releases_cleanly(self, tmp_path):
+        path = str(tmp_path / "wl.pwl")
+        save_packed(path, [make_stream(n=100)])
+        container = load_packed(path)
+        stream = container.streams[0]
+        assert stream.icounts is not None
+        container.backing.close()
+        container.backing.close()  # idempotent
+        # Streams were defused, not left pointing into a closed map.
+        assert stream.icounts is None
+        assert len(stream) == 0
+
+    def test_no_mmap_path(self, tmp_path):
+        path = str(tmp_path / "wl.pwl")
+        save_packed(path, [make_stream(n=10)])
+        container = load_packed(path, use_mmap=False)
+        assert len(container.streams[0]) == 10
+        container.backing.close()
+
+
+class TestValidatedFlagInteraction:
+    def test_validate_stream_columnar_fast_path(self):
+        packed = pack_stream(make_stream(n=10))
+        validate_stream(packed)  # monotone icounts pass
+
+    def test_validate_stream_columnar_rejects_backwards(self):
+        refs = [MemoryReference(10, 0, False), MemoryReference(5, 0, False)]
+        packed = pack_stream(CoreStream(0, 0, 1, refs))
+        with pytest.raises(Exception, match="record 1"):
+            validate_stream(packed)
+
+    def test_depacked_corruption_caught(self):
+        from repro.faults import corrupt_streams
+
+        packed = pack_stream(make_stream(n=10), validated=True)
+        corrupt_streams([packed])
+        assert not packed.validated
+        with pytest.raises(Exception, match="out of range|64-bit"):
+            validate_stream(packed)

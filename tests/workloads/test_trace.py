@@ -195,3 +195,136 @@ class TestInterleave:
         streams = [make_stream(core=c, n=7, start=c) for c in range(3)]
         merged = list(interleave(streams))
         assert len(merged) == 21
+
+
+class TestLoadStreamPacked:
+    """Text -> packed streaming loader (shared grammar with load_stream)."""
+
+    def test_roundtrip_matches_load_stream(self, tmp_path):
+        from repro.workloads.trace import load_stream_packed
+
+        s = make_stream(n=25)
+        path = str(tmp_path / "trace.txt")
+        save_stream(s, path)
+        packed = load_stream_packed(path)
+        assert (packed.core, packed.vm_id, packed.asid) == (0, 1, 2)
+        assert list(packed.references) == load_stream(path).references
+
+    def test_gzip_roundtrip(self, tmp_path):
+        from repro.workloads.trace import load_stream_packed
+
+        s = make_stream(n=25)
+        path = str(tmp_path / "trace.txt.gz")
+        save_stream(s, path)
+        assert list(load_stream_packed(path).references) == \
+            list(s.references)
+
+    def test_empty_stream(self, tmp_path):
+        from repro.workloads.trace import load_stream_packed
+
+        path = str(tmp_path / "trace.txt")
+        save_stream(CoreStream(core=0, vm_id=0, asid=1), path)
+        packed = load_stream_packed(path)
+        assert len(packed) == 0
+
+    def test_same_diagnostics_as_load_stream(self, tmp_path):
+        from repro.workloads.trace import load_stream_packed
+
+        path = tmp_path / "bad.txt"
+        path.write_text("#pomtlb-trace core=0 vm=0 asid=1\n"
+                        "10 1000 R\n10 zz R\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_stream_packed(str(path))
+        assert excinfo.value.lineno == 3
+        assert excinfo.value.text == "10 zz R"
+
+
+class TestLargeTraceMemory:
+    """Streaming loaders must not hold a large trace as Python objects."""
+
+    N = 20000
+
+    def _trace_file(self, tmp_path, suffix=".gz"):
+        import random
+
+        rng = random.Random(7)
+        path = str(tmp_path / f"big.trace{suffix}")
+        refs = []
+        icount = 0
+        for _ in range(self.N):
+            icount += rng.randrange(1, 30)
+            refs.append(MemoryReference(icount, rng.getrandbits(48),
+                                        rng.random() < 0.3))
+        save_stream(CoreStream(core=0, vm_id=0, asid=1, references=refs),
+                    path)
+        return path
+
+    def _peak(self, loader, path):
+        import gc
+        import tracemalloc
+
+        gc.collect()
+        tracemalloc.start()
+        stream = loader(path)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(stream.references) == self.N
+        return peak
+
+    def test_packed_loader_peak_is_columnar(self, tmp_path):
+        from repro.workloads.trace import load_stream_packed
+
+        path = self._trace_file(tmp_path)
+        list_peak = self._peak(load_stream, path)
+        packed_peak = self._peak(load_stream_packed, path)
+        # ~17 B/record in columns vs ~120 B/record of namedtuples; allow
+        # generous slack for array growth and line buffers while still
+        # catching any whole-file or whole-list buffering regression.
+        assert packed_peak < list_peak / 2, (packed_peak, list_peak)
+        assert packed_peak < self.N * 60, packed_peak
+
+    def test_gzip_text_loader_streams(self, tmp_path):
+        # Line-by-line gzip decode: peak stays near the reference-list
+        # cost; a loader that buffered the whole decompressed file first
+        # would sit well above it.
+        path_gz = self._trace_file(tmp_path, suffix=".gz")
+        path_txt = self._trace_file(tmp_path, suffix="")
+        gz_peak = self._peak(load_stream, path_gz)
+        txt_peak = self._peak(load_stream, path_txt)
+        assert gz_peak < txt_peak * 1.5 + 256 * 1024, (gz_peak, txt_peak)
+
+
+class TestInterleavePacked:
+    """Packed streams interleave identically to list-backed ones."""
+
+    def _flatten(self, streams):
+        from repro.workloads.trace import interleave_batched
+
+        out = []
+        for stream, lo, hi in interleave_batched(streams):
+            for i in range(lo, hi):
+                out.append((stream.core, stream.references[i]))
+        return out
+
+    def test_chunks_match_corestream(self):
+        from repro.workloads.packed import pack_stream
+
+        streams = [make_stream(core=c, n=13, start=c * 3) for c in range(3)]
+        packed = [pack_stream(s) for s in streams]
+        assert self._flatten(packed) == self._flatten(streams)
+
+    def test_mixed_packed_and_list_streams(self):
+        from repro.workloads.packed import pack_stream
+
+        streams = [make_stream(core=c, n=11, start=c) for c in range(4)]
+        mixed = [pack_stream(s) if c % 2 else s
+                 for c, s in enumerate(streams)]
+        assert self._flatten(mixed) == self._flatten(streams)
+
+    def test_matches_reference_interleave(self):
+        from repro.workloads.packed import pack_stream
+
+        streams = [make_stream(core=c, n=9, start=c * 2) for c in range(3)]
+        packed = [pack_stream(s) for s in streams]
+        reference = [(s.core, r) for s, r in interleave(streams)]
+        assert self._flatten(packed) == reference

@@ -1,0 +1,135 @@
+"""Unit tests for the content-addressed workload cache."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentParams
+from repro.resilience.checkpoint import run_key
+from repro.workloads.cache import (
+    WorkloadCache,
+    params_workload_key,
+    workload_key,
+)
+
+PARAMS = ExperimentParams(num_cores=2, refs_per_core=150, scale=0.05, seed=9)
+
+
+class TestWorkloadKey:
+    def test_deterministic(self):
+        assert workload_key("gups", 2, 100, 42, 0.5) == \
+            workload_key("gups", 2, 100, 42, 0.5)
+
+    def test_every_input_participates(self):
+        base = workload_key("gups", 2, 100, 42, 0.5)
+        assert workload_key("gcc", 2, 100, 42, 0.5) != base
+        assert workload_key("gups", 4, 100, 42, 0.5) != base
+        assert workload_key("gups", 2, 200, 42, 0.5) != base
+        assert workload_key("gups", 2, 100, 43, 0.5) != base
+        assert workload_key("gups", 2, 100, 42, 0.6) != base
+
+    def test_same_discipline_as_checkpoint_key(self):
+        key = workload_key("gups", 2, 100, 42, 0.5)
+        ck = run_key("gups", "pom", PARAMS)
+        assert len(key) == len(ck) == 32
+        assert all(c in "0123456789abcdef" for c in key)
+
+    def test_simulation_knobs_do_not_change_key(self):
+        import dataclasses
+
+        base = params_workload_key("gups", PARAMS)
+        pom32 = dataclasses.replace(PARAMS, pom_size_bytes=32 << 20)
+        uncached = dataclasses.replace(PARAMS, cache_tlb_entries=False)
+        pooled = dataclasses.replace(PARAMS, workers=8)
+        assert params_workload_key("gups", pom32) == base
+        assert params_workload_key("gups", uncached) == base
+        assert params_workload_key("gups", pooled) == base
+
+    def test_workload_knobs_change_key(self):
+        import dataclasses
+
+        base = params_workload_key("gups", PARAMS)
+        other = dataclasses.replace(PARAMS, refs_per_core=300)
+        assert params_workload_key("gups", other) != base
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = WorkloadCache(str(tmp_path / "wl"))
+        first, hit1 = cache.get_or_compile("gups", PARAMS)
+        second, hit2 = cache.get_or_compile("gups", PARAMS)
+        assert not hit1 and hit2
+        assert cache.stats() == {"hits": 1, "misses": 1, "rejected": 0}
+        for a, b in zip(first.streams, second.streams):
+            assert list(a.references) == list(b.references)
+        first.backing.close()
+        second.backing.close()
+
+    def test_hit_is_validated(self, tmp_path):
+        cache = WorkloadCache(str(tmp_path / "wl"))
+        cache.get_or_compile("gups", PARAMS)[0].backing.close()
+        container, hit = cache.get_or_compile("gups", PARAMS)
+        assert hit and container.validated
+        assert all(s.validated for s in container.streams)
+        container.backing.close()
+
+    def test_cache_matches_generation(self, tmp_path):
+        from repro.workloads.suite import get_profile
+
+        cache = WorkloadCache(str(tmp_path / "wl"))
+        container, _ = cache.get_or_compile("gcc", PARAMS)
+        workload = get_profile("gcc").build(
+            num_cores=PARAMS.num_cores, refs_per_core=PARAMS.refs_per_core,
+            seed=PARAMS.seed, scale=PARAMS.scale)
+        for generated, cached in zip(workload.streams, container.streams):
+            assert list(cached.references) == list(generated.references)
+        container.backing.close()
+
+    def test_corrupted_entry_rejected_and_regenerated(self, tmp_path):
+        cache = WorkloadCache(str(tmp_path / "wl"))
+        reference, _ = cache.get_or_compile("gups", PARAMS)
+        # Materialize before corrupting: the container mmaps the entry
+        # file, so in-place damage would alias into its streams.
+        expected = [list(s.references) for s in reference.streams]
+        reference.backing.close()
+        key = params_workload_key("gups", PARAMS)
+        path = cache.entry_path(key)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        container, hit = cache.get_or_compile("gups", PARAMS)
+        assert not hit
+        assert cache.rejected == 1
+        # Regenerated entry carries the same streams as the original.
+        for refs, stream in zip(expected, container.streams):
+            assert list(stream.references) == refs
+        container.backing.close()
+
+    def test_load_of_missing_key_is_miss(self, tmp_path):
+        cache = WorkloadCache(str(tmp_path / "wl"))
+        assert cache.load("0" * 32) is None
+        assert cache.misses == 1
+
+    def test_contains(self, tmp_path):
+        cache = WorkloadCache(str(tmp_path / "wl"))
+        key = params_workload_key("gups", PARAMS)
+        assert key not in cache
+        cache.get_or_compile("gups", PARAMS)[0].backing.close()
+        assert key in cache
+
+    def test_entries_written_atomically(self, tmp_path):
+        cache = WorkloadCache(str(tmp_path / "wl"))
+        cache.get_or_compile("gups", PARAMS)[0].backing.close()
+        leftovers = [name for name in os.listdir(cache.root)
+                     if name.endswith(".tmp")]
+        assert not leftovers
+
+    def test_distinct_configs_distinct_entries(self, tmp_path):
+        import dataclasses
+
+        cache = WorkloadCache(str(tmp_path / "wl"))
+        cache.get_or_compile("gups", PARAMS)[0].backing.close()
+        other = dataclasses.replace(PARAMS, num_cores=1)
+        cache.get_or_compile("gups", other)[0].backing.close()
+        assert len(os.listdir(cache.root)) == 2
