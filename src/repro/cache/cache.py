@@ -195,6 +195,19 @@ class SetAssociativeCache:
 
     # -- introspection ------------------------------------------------------
 
+    def resident_lines(self, kind: Optional[str] = None):
+        """Yield the line address of every resident line (optionally by kind)."""
+        for set_idx, tags in enumerate(self._tags):
+            for tag, line_kind in tags.items():
+                if kind is None or line_kind == kind:
+                    yield self._line_address(set_idx, tag)
+
+    def set_occupancies(self):
+        """Yield ``(set_idx, resident_count)`` per non-empty set."""
+        for set_idx, tags in enumerate(self._tags):
+            if tags:
+                yield set_idx, len(tags)
+
     def occupancy(self) -> Dict[str, int]:
         """Lines currently resident, split by kind."""
         counts = {DATA: 0, TLB: 0}

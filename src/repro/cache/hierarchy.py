@@ -225,6 +225,25 @@ class CacheHierarchy:
         """Side-effect-free check used to train the bypass predictor."""
         return self._l2[core].contains(paddr) or self._l3.contains(paddr)
 
+    def tlb_lines(self) -> List[int]:
+        """Every cached TLB-kind line address (L2s then L3, duplicates kept).
+
+        TLB lines only ever enter through ``tlb_line_probe`` /
+        ``tlb_line_fill``, so scanning ``_tlb_line_caches`` is exhaustive.
+        """
+        lines: List[int] = []
+        for cache in self._tlb_line_caches:
+            lines.extend(cache.resident_lines(TLB))
+        return lines
+
+    def tlb_line_caches(self) -> Tuple[SetAssociativeCache, ...]:
+        """The caches that may hold TLB-kind lines (per-core L2s + L3)."""
+        return self._tlb_line_caches
+
+    def all_caches(self) -> Tuple[SetAssociativeCache, ...]:
+        """Every SRAM cache in the hierarchy (L1s, L2s, L3)."""
+        return self._all_caches
+
     def invalidate_line(self, paddr: int) -> None:
         """Drop a line everywhere (TLB shootdown of a cached set)."""
         for cache in self._all_caches:

@@ -12,6 +12,8 @@ Examples::
     pomtlb campaign --workers 4 --workload-cache ~/.cache/pomtlb-workloads
     pomtlb trace pack core0.trace core0.pwl.gz
     pomtlb trace unpack core0.pwl.gz roundtrip.trace
+    pomtlb audit --benchmarks gcc,mcf --refs 2000 --scale 0.05
+    pomtlb campaign --verify --output results.txt
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ import json
 import sys
 from typing import List, Optional
 
-from .common.errors import ConfigError
+from .common.errors import ConfigError, VerificationError
 from .common.fileio import atomic_write_text
 from .experiments import (ablations, campaign, consolidation, contention,
                           details, figures, profiling, tables, tradeoff)
@@ -143,6 +145,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="skip runs already present in --checkpoint")
     resilience.add_argument("--inject-faults", default="",
                             metavar="SPEC", help=argparse.SUPPRESS)
+    parser.add_argument("--verify", action="store_true",
+                        help="arm the consistency audit (repro.verify) in "
+                             "every simulated run; an invariant violation "
+                             "aborts with a VerificationError naming the "
+                             "invariant")
     return parser
 
 
@@ -164,6 +171,8 @@ def _params_from_args(args: argparse.Namespace) -> ExperimentParams:
         overrides["max_retries"] = args.max_retries
     if args.retry_backoff is not None:
         overrides["retry_backoff_s"] = args.retry_backoff
+    if args.verify:
+        overrides["verify"] = True
     return ExperimentParams.from_env(**overrides)
 
 
@@ -291,17 +300,125 @@ def _trace_main(argv: List[str]) -> int:
     return 0
 
 
+def _audit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pomtlb audit",
+        description="Differential consistency audit: replay one workload "
+                    "through every translation scheme with the invariant "
+                    "checkers armed, cross-check functional page mappings "
+                    "between schemes and counters against the frozen "
+                    "reference engine.  On a violation the trace is shrunk "
+                    "to a minimal repro and written as a packed .pwl "
+                    "artifact.")
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated subset (default: all)")
+    parser.add_argument("--schemes", default="all",
+                        help="comma-separated schemes or 'all' "
+                             f"(default; all = {','.join(_SCHEMES)})")
+    parser.add_argument("--invariants", default="",
+                        help="comma-separated invariant names to run "
+                             "(default: all registered invariants)")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="core count (default: 8 or $POMTLB_CORES)")
+    parser.add_argument("--refs", type=int, default=None,
+                        help="measured references per core")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="footprint scale factor")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload seed")
+    parser.add_argument("--no-reference", action="store_true",
+                        help="skip the frozen-reference counter comparison")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report the violation without shrinking the "
+                             "trace to a minimal repro")
+    parser.add_argument("--artifacts", default="audit-artifacts",
+                        metavar="DIR",
+                        help="directory for shrunk violation traces "
+                             "(default: audit-artifacts)")
+    return parser
+
+
+def _audit_main(argv: List[str]) -> int:
+    from .common.errors import VerificationError
+    from .verify import INVARIANT_REGISTRY, audit_benchmark
+    from .verify.differential import ALL_SCHEMES
+
+    args = _audit_parser().parse_args(argv)
+    benchmarks = [b for b in args.benchmarks.split(",") if b] or \
+        list(BENCHMARKS)
+    for name in benchmarks:
+        if name not in BENCHMARKS:
+            print(f"unknown benchmark {name!r}; see 'pomtlb list'",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    if args.schemes == "all":
+        schemes = ALL_SCHEMES
+    else:
+        schemes = tuple(s for s in args.schemes.split(",") if s)
+        for name in schemes:
+            if name not in _SCHEMES:
+                print(f"unknown scheme {name!r} "
+                      f"(known: {', '.join(_SCHEMES)})", file=sys.stderr)
+                return EXIT_USAGE
+    if not schemes:
+        print("--schemes selected nothing", file=sys.stderr)
+        return EXIT_USAGE
+    for name in [i for i in args.invariants.split(",") if i]:
+        if name not in INVARIANT_REGISTRY:
+            print(f"unknown invariant {name!r} "
+                  f"(known: {', '.join(sorted(INVARIANT_REGISTRY))})",
+                  file=sys.stderr)
+            return EXIT_USAGE
+
+    overrides = {}
+    if args.cores is not None:
+        overrides["num_cores"] = args.cores
+    if args.refs is not None:
+        overrides["refs_per_core"] = args.refs
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        params = ExperimentParams.from_env(**overrides)
+    except ConfigError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    invariants = tuple(i for i in args.invariants.split(",") if i) or None
+    try:
+        for benchmark in benchmarks:
+            report = audit_benchmark(
+                benchmark, params, schemes=schemes,
+                invariants=invariants,
+                use_reference=not args.no_reference,
+                shrink=not args.no_shrink,
+                artifact_dir=args.artifacts)
+            checked = "+reference" if report.reference_checked else ""
+            print(f"audit {benchmark}: OK "
+                  f"({len(report.results)} scheme(s){checked})")
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except VerificationError as exc:
+        print(f"audit FAILED: {exc}", file=sys.stderr)
+        return EXIT_DEGRADED
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "audit":
+        return _audit_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         print("static:  ", ", ".join(sorted(_STATIC)))
         print("dynamic: ", ", ".join(sorted(_DYNAMIC)),
               "+ campaign, details, profile")
-        print("tools:    trace pack, trace unpack")
+        print("tools:    trace pack, trace unpack, audit")
         print("benchmarks:", ", ".join(BENCHMARKS))
         return 0
 
@@ -421,6 +538,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigError as exc:
         print(f"configuration error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    except VerificationError as exc:
+        print(f"verification failed: {exc}", file=sys.stderr)
+        return EXIT_DEGRADED
     finally:
         obs.close()
 

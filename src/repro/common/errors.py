@@ -107,6 +107,25 @@ class FaultInjected(TransientError):
     """
 
 
+class VerificationError(ReproError):
+    """A consistency-audit invariant was violated during a run.
+
+    Permanent by design (never a :class:`TransientError`): retrying a
+    deterministic simulation cannot make a broken invariant pass.
+    ``invariant`` names the violated check, ``detail`` describes the
+    witness state, and ``artifact`` (when set) is the path of a shrunk
+    packed trace (``.pwl``) that reproduces the violation.
+    """
+
+    def __init__(self, invariant: str, detail: str,
+                 artifact: str = "") -> None:
+        suffix = f" [repro trace: {artifact}]" if artifact else ""
+        super().__init__(f"invariant {invariant!r} violated: {detail}{suffix}")
+        self.invariant = invariant
+        self.detail = detail
+        self.artifact = artifact
+
+
 class CheckpointError(ReproError):
     """A checkpoint store could not be read or written."""
 

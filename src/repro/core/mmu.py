@@ -223,25 +223,53 @@ class TranslationScheme:
         Returns the modelled cost in cycles: the IPI/lock round-trip,
         one invalidate per core, plus whatever the scheme's backend
         structure costs (e.g. a stacked-DRAM set write for the POM-TLB).
+
+        Both page sizes are dropped from the private TLBs: a THP
+        promotion/demotion leaves the other size's translation stale,
+        and every backend already drops both — the front end must agree
+        or a dead translation survives privately (mostly-inclusive
+        consistency would be silently violated).  ``large`` only names
+        the page's current size for cost purposes.
         """
-        key = _key_for(vm_id, asid, vaddr, large)
+        del large  # the invalidation is size-agnostic; see docstring
         cycles = (self.SHOOTDOWN_BASE_CYCLES
                   + self.SHOOTDOWN_PER_CORE_CYCLES * len(self.cores))
-        for tlbs in self.cores:
-            tlbs.l1(large).invalidate_page(key)
-            tlbs.l2.invalidate_page(key)
+        for size_large in (False, True):
+            key = _key_for(vm_id, asid, vaddr, size_large)
+            for tlbs in self.cores:
+                tlbs.l1(size_large).invalidate_page(key)
+                tlbs.l2.invalidate_page(key)
         self.walkers.invalidate(vm_id, asid, vaddr)
-        cycles += self._shootdown_backend(vm_id, asid, vaddr, key) or 0
+        cycles += self._shootdown_backend(vm_id, asid, vaddr) or 0
         self.mmu_stats.inc("shootdowns")
         self.mmu_stats.inc("shootdown_cycles", cycles)
         return cycles
 
-    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: int) -> int:
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int) -> int:
         """Scheme-specific invalidation (POM set, TSB entry, shared TLB).
 
         Returns extra cycles the backend structure costs; 0 by default.
         """
+        return 0
+
+    def invalidate_vm(self, vm_id: int) -> int:
+        """Drop every translation of one VM everywhere (VM teardown).
+
+        Empties the private L1/L2 SRAM TLBs and the paging-structure
+        caches, then lets the scheme's backend drop its own entries —
+        including any data-cache copies of the backing structure's
+        lines, which would otherwise keep serving the dead VM's sets.
+        Returns the number of backend entries dropped.
+        """
+        for tlbs in self.cores:
+            tlbs.l1_small.invalidate_vm(vm_id)
+            tlbs.l1_large.invalidate_vm(vm_id)
+            tlbs.l2.invalidate_vm(vm_id)
+        self.walkers.invalidate_vm(vm_id)
+        return self._invalidate_vm_backend(vm_id)
+
+    def _invalidate_vm_backend(self, vm_id: int) -> int:
+        """Scheme-specific VM-level invalidation; entries dropped."""
         return 0
 
     def _walk(self, core: int, vm_id: int, asid: int, vaddr: int) -> int:
@@ -412,8 +440,7 @@ class PomTlbScheme(TranslationScheme):
             self.trace.emit(events.POM_FETCH, cycles=cycles, source=source)
         return cycles
 
-    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: int) -> int:
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int) -> int:
         cycles = 0
         for large in (False, True):
             k = _key_for(vm_id, asid, vaddr, large)
@@ -422,6 +449,12 @@ class PomTlbScheme(TranslationScheme):
                 self.hierarchy.invalidate_tlb_line(set_paddr)
                 cycles += self.pom.dram_access(set_paddr)  # set write-back
         return cycles
+
+    def _invalidate_vm_backend(self, vm_id: int) -> int:
+        dropped = self.pom.invalidate_vm(vm_id)
+        for set_paddr in dropped:
+            self.hierarchy.invalidate_tlb_line(set_paddr)
+        return len(dropped)
 
 
 class SharedL2Scheme(TranslationScheme):
@@ -558,14 +591,19 @@ class SharedL2Scheme(TranslationScheme):
                       page: ResolvedPage) -> int:  # pragma: no cover
         raise AssertionError("SharedL2Scheme overrides translate_packed()")
 
-    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: int) -> int:
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int) -> int:
         for large in (False, True):
             k = _key_for(vm_id, asid, vaddr, large)
             self.shared.invalidate_page(k)
             for shadow in self._shadow:
                 shadow.invalidate_page(k)
         return self.shared.latency  # one shared-array invalidate op
+
+    def _invalidate_vm_backend(self, vm_id: int) -> int:
+        dropped = self.shared.invalidate_vm(vm_id)
+        for shadow in self._shadow:
+            shadow.invalidate_vm(vm_id)
+        return dropped
 
 
 class TsbScheme(TranslationScheme):
@@ -624,8 +662,7 @@ class TsbScheme(TranslationScheme):
                 core, tsb.host_entry_address(vm_id, gpa_vpn), is_write=True)
         return cycles
 
-    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: int) -> int:
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int) -> int:
         cycles = 0
         for large in (False, True):
             vpn = vaddr >> addr.page_shift(large)
@@ -635,6 +672,14 @@ class TsbScheme(TranslationScheme):
                 cycles += self.hierarchy.data_access(0, entry_addr,
                                                      is_write=True)
         return cycles
+
+    def _invalidate_vm_backend(self, vm_id: int) -> int:
+        # TSB entries are ordinary *data* lines in the caches, so the
+        # dead entries' lines are dropped everywhere, not just L2/L3.
+        dropped = self.tsb.invalidate_vm(vm_id)
+        for entry_addr in dropped:
+            self.hierarchy.invalidate_line(entry_addr)
+        return len(dropped)
 
 
 class SkewedPomScheme(TranslationScheme):
@@ -740,8 +785,7 @@ class SkewedPomScheme(TranslationScheme):
             predictor.record_bypass(vaddr, line_was_cached)
         return cycles
 
-    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int,
-                           key: int) -> int:
+    def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int) -> int:
         cycles = 0
         for large in (False, True):
             k = _key_for(vm_id, asid, vaddr, large)
@@ -750,6 +794,12 @@ class SkewedPomScheme(TranslationScheme):
                 self.hierarchy.invalidate_tlb_line(line_addr)
                 cycles += self.pom.dram_access(line_addr)
         return cycles
+
+    def _invalidate_vm_backend(self, vm_id: int) -> int:
+        dropped = self.pom.invalidate_vm(vm_id)
+        for line_addr in dropped:
+            self.hierarchy.invalidate_tlb_line(line_addr)
+        return len(dropped)
 
 
 SCHEMES = {

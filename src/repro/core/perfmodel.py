@@ -71,13 +71,24 @@ def estimate(anchor: BaselineAnchor, l2_tlb_misses: int,
     if l2_tlb_misses < 0 or scheme_penalty_cycles < 0:
         raise ValueError("miss count and penalties must be non-negative")
     baseline_penalty = l2_tlb_misses * anchor.cycles_per_l2_miss
-    if baseline_penalty == 0 or anchor.overhead_pct == 0:
-        # No translation overhead to recover: every scheme is a wash
-        # (speedup 1.0, improvement 0%).
+    if l2_tlb_misses == 0:
+        # No misses to scale by: Eq. 4's scheme term is M * P_avg = 0,
+        # so the model says wash regardless of the measured penalty
+        # (which cannot be normalised per miss anyway).
         return PerformanceEstimate(
-            baseline_cycles=scheme_penalty_cycles,
-            ideal_cycles=scheme_penalty_cycles,
-            scheme_cycles=scheme_penalty_cycles,
+            baseline_cycles=0.0, ideal_cycles=0.0, scheme_cycles=0.0,
+            baseline_penalty=0.0, scheme_penalty=scheme_penalty_cycles)
+    if baseline_penalty == 0 or anchor.overhead_pct == 0:
+        # Degenerate anchor: the baseline pays nothing for translation,
+        # so its measured cycles are all execution.  C_ideal is then the
+        # anchor's M * P_avg product and Eq. 4 still charges whatever
+        # penalty the scheme *adds* — a scheme with extra penalty
+        # reports a slowdown rather than hiding behind a wash.
+        ideal = baseline_penalty
+        return PerformanceEstimate(
+            baseline_cycles=ideal,
+            ideal_cycles=ideal,
+            scheme_cycles=ideal + scheme_penalty_cycles,
             baseline_penalty=0.0, scheme_penalty=scheme_penalty_cycles)
     baseline_cycles = baseline_penalty / (anchor.overhead_pct / 100.0)
     ideal_cycles = baseline_cycles - baseline_penalty          # Eq. 2

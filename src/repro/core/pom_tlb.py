@@ -26,7 +26,7 @@ seed-era newest-first list with the same victim sequence.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..common import addr
 from ..common.config import PomTlbConfig, SystemConfig
@@ -187,20 +187,42 @@ class PomTlb:
             return self.addressing.set_address(vaddr, vm_id, large)
         return None
 
-    def invalidate_vm(self, vm_id: int) -> int:
-        """Drop every translation of one VM; returns the count."""
+    def invalidate_vm(self, vm_id: int) -> List[int]:
+        """Drop every translation of one VM (VM teardown).
+
+        Returns the physical address of every 64 B set that lost an
+        entry (one occurrence per dropped entry) so the caller can
+        invalidate stale cached copies of those sets — without this the
+        L2D$/L3D$ keep serving the dead VM's sets.
+        """
         vm_bits = pack_context(vm_id, 0) & KEY_VM_FIELD_MASK
-        dropped = 0
-        for sets in self._sets:
-            for entries in sets.values():
+        touched: List[int] = []
+        for large, sets in enumerate(self._sets):
+            base = self._large_base if large else self._small_base
+            for index, entries in sets.items():
                 doomed = [k for k in entries
                           if k & KEY_VM_FIELD_MASK == vm_bits]
                 for k in doomed:
                     del entries[k]
-                dropped += len(doomed)
-        if dropped:
-            self.stats.inc("shootdowns", dropped)
-        return dropped
+                touched.extend([base + index * _LINE] * len(doomed))
+        if touched:
+            self.stats.inc("shootdowns", len(touched))
+        return touched
+
+    # -- introspection -----------------------------------------------------
+
+    def resident(self) -> Iterator[Tuple[bool, int, int]]:
+        """Yield ``(large, set_index, packed_key)`` for every entry."""
+        for large, sets in enumerate(self._sets):
+            for index, entries in sets.items():
+                for key in entries:
+                    yield bool(large), index, key
+
+    def set_sizes(self) -> Iterator[Tuple[bool, int, int]]:
+        """Yield ``(large, set_index, occupancy)`` per non-empty set."""
+        for large, sets in enumerate(self._sets):
+            for index, entries in sets.items():
+                yield bool(large), index, len(entries)
 
     # -- reporting ---------------------------------------------------------
 

@@ -28,7 +28,7 @@ slot placement — and therefore every counter — is unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..common import addr
 from ..common.config import PomTlbConfig, SystemConfig
@@ -196,7 +196,12 @@ class SkewedPomTlb:
                 return line
         return None
 
-    def invalidate_vm(self, vm_id: int) -> int:
+    def invalidate_vm(self, vm_id: int) -> List[int]:
+        """Drop every translation of one VM (VM teardown).
+
+        Returns the line address of every slot that lost its entry so
+        the caller can drop stale cached copies of those lines.
+        """
         vm_bits = pack_context(vm_id, 0) & KEY_VM_FIELD_MASK
         doomed = [pos for pos, (key, _e, _t) in self._slots.items()
                   if key & KEY_VM_FIELD_MASK == vm_bits]
@@ -204,7 +209,12 @@ class SkewedPomTlb:
             del self._slots[pos]
         if doomed:
             self.stats.inc("shootdowns", len(doomed))
-        return len(doomed)
+        return [self._line_address(way, slot) for way, slot in doomed]
+
+    def resident(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(way, slot, packed_key)`` for every resident entry."""
+        for (way, slot), (key, _entry, _stamp) in self._slots.items():
+            yield way, slot, key
 
     def occupancy(self) -> Dict[str, int]:
         small = sum(1 for key, _e, _t in self._slots.values()

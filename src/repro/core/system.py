@@ -30,6 +30,7 @@ from ..obs import Observability
 from ..obs.histogram import LogHistogram
 from ..obs.windows import WindowedMetrics
 from ..tlb.entry import pack_context
+from ..verify.verifier import NO_VERIFIER, Verifier
 from ..vmm.thp import ThpPolicy
 from ..vmm.vm import Host, NativeProcess, ResolvedPage
 from ..workloads.trace import CoreStream, interleave_batched
@@ -161,6 +162,7 @@ class Machine:
                  thp_fractions: Optional[Dict[int, float]] = None,
                  obs: Optional[Observability] = None,
                  faults=None,
+                 verify=None,
                  **scheme_kwargs) -> None:
         self.config = config
         self.seed = seed
@@ -183,6 +185,15 @@ class Machine:
         #: Fault-injection hook (:mod:`repro.faults`); the null object's
         #: ``active`` is False, so the hot path pays one attribute check.
         self.faults = faults if faults is not None else NO_TRANSLATION_FAULTS
+        #: Consistency-audit hook (:mod:`repro.verify`); same null-object
+        #: pattern.  ``verify=True`` arms the default invariant set, or
+        #: pass a configured :class:`~repro.verify.Verifier`.
+        if verify is None:
+            self.verifier = NO_VERIFIER
+        elif verify is True:
+            self.verifier = Verifier()
+        else:
+            self.verifier = verify
 
     # -- software contexts ----------------------------------------------------
 
@@ -277,6 +288,10 @@ class Machine:
         # Both in-tree faulters fix ``active`` at class level; hoist it.
         faults_active = faults.active
         on_translation = faults.on_translation
+        # Same for the verifier: one hoisted bool, nothing when disabled.
+        verifier = self.verifier
+        verifier_active = verifier.active
+        on_verify = verifier.on_translation
         references = 0
         translation_cycles = 0
         data_cycles = 0
@@ -322,6 +337,7 @@ class Machine:
                             data_cycles = 0
                             self.stats.reset()
                             obs.reset()
+                            verifier.reset()
                             if tracer.enabled:
                                 tracer.marker("stats_reset")
                             warmup_boundary = dict(last_icount)
@@ -347,6 +363,8 @@ class Machine:
                             record_penalty(result[2])
                     if record_window is not None:
                         record_window(result[0], result[1], result[2])
+                    if verifier_active:
+                        on_verify(result)
                     references += 1
                     if warming:
                         last_icount[core] = icounts[i]
@@ -376,6 +394,7 @@ class Machine:
                         data_cycles = 0
                         self.stats.reset()
                         obs.reset()
+                        verifier.reset()
                         if tracer.enabled:
                             tracer.marker("stats_reset")
                         warmup_boundary = dict(last_icount)
@@ -398,6 +417,8 @@ class Machine:
                         record_penalty(result[2])
                 if record_window is not None:
                     record_window(result[0], result[1], result[2])
+                if verifier_active:
+                    on_verify(result)
                 references += 1
                 if warming:
                     # The warmup-reset boundary snapshots last_icount, so
@@ -419,7 +440,7 @@ class Machine:
         instructions = sum(
             last_icount[core] - warmup_boundary.get(core, 0)
             for core in last_icount)
-        return SimulationResult(
+        result = SimulationResult(
             scheme=self.scheme.name,
             references=references,
             instructions=instructions,
@@ -432,6 +453,9 @@ class Machine:
             histograms=histograms,
             windows=windows,
         )
+        if verifier_active:
+            verifier.finish(self, result)
+        return result
 
     # -- OS-visible operations --------------------------------------------------
 
@@ -446,4 +470,26 @@ class Machine:
         else:
             page = self._native_process(asid).resolve(vaddr)
         large = page.large if page is not None else False
-        return self.scheme.shootdown(vm_id, asid, vaddr, large)
+        verifier = self.verifier
+        if not verifier.active:
+            return self.scheme.shootdown(vm_id, asid, vaddr, large)
+        token = verifier.token_shootdown(self, vm_id, asid, vaddr)
+        cycles = self.scheme.shootdown(vm_id, asid, vaddr, large)
+        verifier.check_shootdown(self, vm_id, asid, vaddr, token)
+        return cycles
+
+    def invalidate_vm(self, vm_id: int) -> int:
+        """Drop every translation of one VM everywhere (VM teardown).
+
+        Clears the VM's entries from the private SRAM TLBs, the paging-
+        structure caches, the scheme's backing structure and any cached
+        copies of its memory-mapped lines.  Returns the number of
+        backing-structure entries dropped.
+        """
+        verifier = self.verifier
+        if not verifier.active:
+            return self.scheme.invalidate_vm(vm_id)
+        token = verifier.token_invalidate_vm(self, vm_id)
+        dropped = self.scheme.invalidate_vm(vm_id)
+        verifier.check_invalidate_vm(self, vm_id, token)
+        return dropped

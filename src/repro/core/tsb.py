@@ -19,7 +19,7 @@ halves.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..common import addr
 from ..common.config import TsbConfig
@@ -105,6 +105,41 @@ class TranslationStorageBuffer:
             del self._guest[index]
             return self._guest_base + index * self.config.entry_bytes
         return None
+
+    def invalidate_vm(self, vm_id: int) -> List[int]:
+        """Drop every entry of one VM from both halves (VM teardown).
+
+        Returns the entry addresses dropped so the caller can drop the
+        cached copies of those lines — TSB entries live in cacheable
+        memory, so the data caches may still serve them otherwise.
+        """
+        touched: List[int] = []
+        entry_bytes = self.config.entry_bytes
+        for index in [i for i, (tag, _payload) in self._guest.items()
+                      if tag[0] == vm_id]:
+            del self._guest[index]
+            touched.append(self._guest_base + index * entry_bytes)
+        for index in [i for i, (tag, _payload) in self._host.items()
+                      if tag[0] == vm_id]:
+            del self._host[index]
+            touched.append(self._host_base + index * entry_bytes)
+        return touched
+
+    def contains_guest(self, vm_id: int, asid: int, vpn: int,
+                       large: bool) -> bool:
+        """Guest-half presence check with no stats side effects."""
+        resident = self._guest.get(self._guest_index(vm_id, asid, vpn))
+        return bool(resident) and resident[0] == (vm_id, asid, vpn, large)
+
+    def contains_host(self, vm_id: int, gpa_vpn: int) -> bool:
+        """Host-half presence check with no stats side effects."""
+        resident = self._host.get(self._host_index(vm_id, gpa_vpn))
+        return bool(resident) and resident[0] == (vm_id, gpa_vpn)
+
+    def resident(self) -> Dict[str, List[Tuple]]:
+        """Resident tags per half (consistency checks and tests)."""
+        return {"guest": [tag for tag, _p in self._guest.values()],
+                "host": [tag for tag, _p in self._host.values()]}
 
     def occupancy(self) -> Dict[str, int]:
         return {"guest": len(self._guest), "host": len(self._host)}

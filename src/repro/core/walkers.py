@@ -126,3 +126,14 @@ class WalkerPool:
                 walker.guest_psc.invalidate(vaddr)
             else:
                 walker.psc.invalidate(vaddr)
+
+    def invalidate_vm(self, vm_id: int) -> None:
+        """Flush every paging-structure cache of one VM (VM teardown)."""
+        for (core, w_vm, w_asid), walker in self._walkers.items():
+            if w_vm != vm_id:
+                continue
+            if isinstance(walker, NestedWalker):
+                walker.guest_psc.flush()
+                walker.host_psc.flush()
+            else:
+                walker.psc.flush()

@@ -30,7 +30,7 @@ ObsFactory = Callable[[str, str], Optional[Observability]]
 #: ExperimentParams fields that steer *execution*, not simulation: they
 #: can never change a result, so the checkpoint key excludes them.
 EXECUTION_FIELDS = ("workers", "run_timeout_s", "max_retries",
-                    "retry_backoff_s")
+                    "retry_backoff_s", "verify")
 
 
 @dataclass(frozen=True)
@@ -68,6 +68,10 @@ class ExperimentParams:
     max_retries: int = 2
     #: base exponential-backoff delay between attempts, seconds
     retry_backoff_s: float = 0.25
+    #: arm the consistency audit (:mod:`repro.verify`) during each run;
+    #: verified runs are bit-identical to unverified ones, so this is an
+    #: execution knob and never enters the checkpoint key
+    verify: bool = False
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentParams":
@@ -161,7 +165,8 @@ def simulate_run(benchmark: str, scheme: str, params: ExperimentParams,
                       thp_large_fraction=profile.thp_large_fraction,
                       seed=params.seed,
                       tlb_priority=params.tlb_priority,
-                      obs=obs, faults=machine_faults)
+                      obs=obs, faults=machine_faults,
+                      verify=params.verify or None)
     result = machine.run(
         workload.streams,
         warmup_references=workload.warmup_by_core

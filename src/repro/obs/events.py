@@ -51,6 +51,8 @@ RUN_RETRY = "run_retry"
 RUN_FAILURE = "run_failure"
 #: A campaign run finished successfully (``restored`` = from checkpoint).
 RUN_COMPLETE = "run_complete"
+#: A consistency-audit invariant was violated (:mod:`repro.verify`).
+VERIFY_VIOLATION = "verify_violation"
 
 #: Required type-specific fields per event type (beyond the bookkeeping
 #: fields the tracer adds to every event).
@@ -70,6 +72,7 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     RUN_RETRY: ("benchmark", "scheme", "attempt", "error"),
     RUN_FAILURE: ("benchmark", "scheme", "attempts", "error"),
     RUN_COMPLETE: ("benchmark", "scheme", "attempts", "restored"),
+    VERIFY_VIOLATION: ("invariant", "detail"),
 }
 
 

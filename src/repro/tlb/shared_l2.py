@@ -66,6 +66,16 @@ class SharedLastLevelTlb:
     def invalidate_page(self, key: int) -> bool:
         return self._tlb.invalidate_page(key)
 
+    def invalidate_vm(self, vm_id: int) -> int:
+        """Drop every entry of one VM; returns the count dropped."""
+        return self._tlb.invalidate_vm(vm_id)
+
+    def contains(self, key: int) -> bool:
+        return self._tlb.contains(key)
+
+    def keys(self):
+        return self._tlb.keys()
+
     def flush(self) -> int:
         return self._tlb.flush()
 

@@ -1,0 +1,46 @@
+"""Consistency-audit subsystem: invariants, verifier hook, differential audit.
+
+Off by default behind the null-object :data:`NO_VERIFIER` (the
+:mod:`repro.faults` / :mod:`repro.obs` pattern); armed per run via
+``Machine(..., verify=Verifier())``, the ``verify=True`` experiment
+parameter, or the ``pomtlb audit`` CLI.
+"""
+
+from .invariants import (DEFAULT_INVARIANTS, INVARIANT_REGISTRY,
+                         ConservationChecker, InclusionChecker,
+                         InvariantChecker, LruChecker, SetAddressChecker,
+                         StaleLineChecker, default_checkers)
+from .verifier import NO_VERIFIER, NullVerifier, Verifier
+
+#: Differential-audit names resolved lazily (PEP 562): importing them at
+#: package level would pull in :mod:`repro.core.system`, which itself
+#: imports this package for :data:`NO_VERIFIER` — a cycle.
+_LAZY_DIFFERENTIAL = ("ALL_SCHEMES", "AuditReport", "audit_benchmark",
+                      "shrink_trace")
+
+
+def __getattr__(name):
+    if name in _LAZY_DIFFERENTIAL:
+        from . import differential
+        return getattr(differential, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ALL_SCHEMES",
+    "AuditReport",
+    "audit_benchmark",
+    "shrink_trace",
+    "DEFAULT_INVARIANTS",
+    "INVARIANT_REGISTRY",
+    "InvariantChecker",
+    "InclusionChecker",
+    "StaleLineChecker",
+    "SetAddressChecker",
+    "LruChecker",
+    "ConservationChecker",
+    "default_checkers",
+    "NO_VERIFIER",
+    "NullVerifier",
+    "Verifier",
+]

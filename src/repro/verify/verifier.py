@@ -1,0 +1,135 @@
+"""Verifier hook: null-object-off-by-default consistency auditing.
+
+Follows the pattern of :mod:`repro.faults` / :mod:`repro.obs`: the
+:class:`Machine` consults a verifier behind :data:`NO_VERIFIER`, whose
+class-level ``active`` is ``False`` — production runs pay one hoisted
+attribute check per hot loop, nothing per reference.
+
+An active :class:`Verifier` fans each hook out to its invariant
+checkers (:mod:`repro.verify.invariants`).  A violated invariant raises
+:class:`~repro.common.errors.VerificationError`; when the machine's
+tracer is enabled a ``verify_violation`` event is emitted first, so the
+violation is visible in the event stream next to the translations that
+led up to it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..common.errors import VerificationError
+from ..obs import events
+from .invariants import (INVARIANT_REGISTRY, InvariantChecker,
+                         default_checkers)
+
+
+class NullVerifier:
+    """Verification disabled: every hook is a no-op."""
+
+    active = False
+
+    def on_translation(self, result) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def finish(self, machine, result) -> None:
+        pass
+
+    def token_shootdown(self, machine, vm_id: int, asid: int, vaddr: int):
+        return None
+
+    def check_shootdown(self, machine, vm_id: int, asid: int, vaddr: int,
+                        token) -> None:
+        pass
+
+    def token_invalidate_vm(self, machine, vm_id: int):
+        return None
+
+    def check_invalidate_vm(self, machine, vm_id: int, token) -> None:
+        pass
+
+
+#: Shared default: verification off.
+NO_VERIFIER = NullVerifier()
+
+
+class Verifier(NullVerifier):
+    """Active consistency audit running a set of invariant checkers."""
+
+    active = True
+
+    def __init__(self,
+                 checkers: Optional[Iterable[InvariantChecker]] = None
+                 ) -> None:
+        self.checkers: List[InvariantChecker] = (
+            list(checkers) if checkers is not None else default_checkers())
+        # Hot-path fan-out list: only checkers that accumulate.
+        self._accumulators = [c for c in self.checkers
+                              if type(c).on_translation
+                              is not InvariantChecker.on_translation]
+
+    @classmethod
+    def for_names(cls, names: Iterable[str]) -> "Verifier":
+        """Build a verifier running only the named invariants."""
+        checkers = []
+        for name in names:
+            checker = INVARIANT_REGISTRY.get(name)
+            if checker is None:
+                known = ", ".join(sorted(INVARIANT_REGISTRY))
+                raise ValueError(f"unknown invariant {name!r} "
+                                 f"(known: {known})")
+            checkers.append(checker())
+        return cls(checkers)
+
+    # -- hot path ---------------------------------------------------------
+
+    def on_translation(self, result) -> None:
+        for checker in self._accumulators:
+            checker.on_translation(result)
+
+    def reset(self) -> None:
+        for checker in self.checkers:
+            checker.reset()
+
+    # -- event-driven hooks ------------------------------------------------
+
+    def token_shootdown(self, machine, vm_id, asid, vaddr):
+        return [checker.token_shootdown(machine, vm_id, asid, vaddr)
+                for checker in self.checkers]
+
+    def check_shootdown(self, machine, vm_id, asid, vaddr, token):
+        tokens = token or [None] * len(self.checkers)
+        for checker, sub in zip(self.checkers, tokens):
+            self._run(machine, checker.check_shootdown,
+                      machine, vm_id, asid, vaddr, sub)
+
+    def token_invalidate_vm(self, machine, vm_id):
+        return [checker.token_invalidate_vm(machine, vm_id)
+                for checker in self.checkers]
+
+    def check_invalidate_vm(self, machine, vm_id, token):
+        tokens = token or [None] * len(self.checkers)
+        for checker, sub in zip(self.checkers, tokens):
+            self._run(machine, checker.check_invalidate_vm,
+                      machine, vm_id, sub)
+
+    # -- end of run --------------------------------------------------------
+
+    def finish(self, machine, result) -> None:
+        for checker in self.checkers:
+            self._run(machine, checker.check_final, machine, result)
+
+    # -- violation reporting -----------------------------------------------
+
+    def _run(self, machine, hook, *args) -> None:
+        try:
+            hook(*args)
+        except VerificationError as violation:
+            tracer = machine.obs.tracer
+            if tracer.enabled:
+                tracer.emit(events.VERIFY_VIOLATION,
+                            invariant=violation.invariant,
+                            detail=violation.detail)
+            raise

@@ -62,9 +62,23 @@ class TestEstimate:
         assert est.improvement_percent == 0.0
         assert est.speedup == 1.0
 
-    def test_zero_overhead_is_a_wash(self):
+    def test_zero_overhead_surfaces_added_penalty(self):
+        # A zero-overhead anchor means the baseline pays nothing for
+        # translation: its measured cycles are all execution (C_ideal).
+        # A scheme that *adds* penalty on top of that must report a
+        # slowdown, not a wash — Eq. 4 with C_ideal from the anchor.
         anchor = BaselineAnchor(overhead_pct=0.0, cycles_per_l2_miss=100)
         est = estimate(anchor, 1000, 50_000)
+        assert est.ideal_cycles == 100_000
+        assert est.scheme_cycles == 150_000
+        assert est.baseline_penalty == 0.0
+        assert est.speedup == pytest.approx(100_000 / 150_000)
+        assert est.improvement_percent < 0
+
+    def test_zero_overhead_zero_penalty_is_a_wash(self):
+        anchor = BaselineAnchor(overhead_pct=0.0, cycles_per_l2_miss=100)
+        est = estimate(anchor, 1000, 0)
+        assert est.speedup == 1.0
         assert est.improvement_percent == 0.0
 
     def test_rejects_negative_inputs(self):

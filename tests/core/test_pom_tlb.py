@@ -123,7 +123,8 @@ class TestInvalidation:
         pom.insert(0x1000, key(1, vm=1), TlbEntry(1))
         pom.insert(0x2000, key(2, vm=1), TlbEntry(2))
         pom.insert(0x3000, key(3, vm=2), TlbEntry(3))
-        assert pom.invalidate_vm(1) == 2
+        dropped = pom.invalidate_vm(1)
+        assert len(dropped) == 2  # one set address per dropped entry
         assert pom.occupancy()["small"] == 1
 
 
