@@ -68,3 +68,61 @@ def test_bench_disabled_observability_overhead(benchmark, bench_json):
     assert instrumented <= baseline * 1.05 + _SLACK_SECONDS, (
         f"disabled-observability hot path costs {100 * overhead:.1f}% "
         f"(budget 5%)")
+
+
+def _make_campaign_run(telemetry_factory):
+    import io
+
+    from repro.experiments import campaign
+    from repro.experiments.runner import ExperimentParams
+
+    params = ExperimentParams(num_cores=1, refs_per_core=2000, scale=0.05,
+                              seed=7, max_retries=0, retry_backoff_s=0.0)
+
+    def run():
+        campaign.run_all(params, ["gups"], out=io.StringIO(),
+                         progress=io.StringIO(),
+                         telemetry=telemetry_factory())
+
+    return run
+
+
+def test_bench_campaign_telemetry_overhead(benchmark, bench_json, tmp_path):
+    """Telemetry must ride the campaign for free.
+
+    The null object (the default) gates every hook behind one attribute
+    check per *run*; the full hub adds dict updates and one flushed
+    write per event.  Both are noise next to a simulation, so even the
+    fully-enabled campaign must stay within the 5% budget of the
+    disabled one — which bounds the disabled path's own cost far below
+    that.
+    """
+    from repro.obs import NO_TELEMETRY, CampaignTelemetry
+
+    disabled_run = _make_campaign_run(lambda: NO_TELEMETRY)
+    # "w" mode truncates, so every round reuses the same stream file.
+    enabled_run = _make_campaign_run(lambda: CampaignTelemetry(
+        status_path=str(tmp_path / "status.ndjson"),
+        export_dir=str(tmp_path)))
+
+    disabled_run()  # shared warm-up
+    enabled_run()
+
+    disabled = _best_of(disabled_run)
+    enabled = benchmark.pedantic(lambda: _best_of(enabled_run),
+                                 rounds=1, iterations=1)
+    overhead = enabled / disabled - 1.0
+    print(f"\ndisabled {disabled:.3f}s, enabled {enabled:.3f}s, "
+          f"overhead {100 * overhead:+.1f}%")
+    bench_json("campaign_telemetry_overhead", {
+        "workload": "gups",
+        "params": {"num_cores": 1, "refs_per_core": 2000,
+                   "scale": 0.05, "seed": 7},
+        "rounds": _ROUNDS,
+        "disabled_s": round(disabled, 4),
+        "enabled_s": round(enabled, 4),
+        "overhead_pct": round(100 * overhead, 2),
+        "budget_pct": 5.0,
+    })
+    assert enabled <= disabled * 1.05 + _SLACK_SECONDS, (
+        f"campaign telemetry costs {100 * overhead:.1f}% (budget 5%)")

@@ -14,6 +14,8 @@ Examples::
     pomtlb trace unpack core0.pwl.gz roundtrip.trace
     pomtlb audit --benchmarks gcc,mcf --refs 2000 --scale 0.05
     pomtlb campaign --verify --output results.txt
+    pomtlb campaign --workers 4 --status-out status.ndjson
+    pomtlb top status.ndjson --follow
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from __future__ import annotations
 import argparse
 import io
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -30,7 +33,8 @@ from .experiments import (ablations, campaign, consolidation, contention,
                           details, figures, profiling, tables, tradeoff)
 from .experiments.runner import ExperimentParams, SuiteRunner
 from .faults import NO_FAULTS, FaultPlan
-from .obs import ChromeTraceSink, EventTracer, JsonlSink, Observability
+from .obs import (NO_TELEMETRY, ChromeTraceSink, EventTracer, JsonlSink,
+                  Observability)
 from .workloads.suite import BENCHMARKS
 
 #: Exit codes: 0 ok, 1 campaign degraded (failed runs in the report),
@@ -145,6 +149,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="skip runs already present in --checkpoint")
     resilience.add_argument("--inject-faults", default="",
                             metavar="SPEC", help=argparse.SUPPRESS)
+    telemetry = parser.add_argument_group(
+        "telemetry (campaign)",
+        "live status stream, Prometheus metrics, HTML dashboard; "
+        "all off (and costless) unless one of these is given")
+    telemetry.add_argument("--status-out", default="", metavar="PATH",
+                           help="stream campaign status as NDJSON to PATH "
+                                "(one event per line, flushed; tail it "
+                                "live with 'pomtlb top PATH --follow')")
+    telemetry.add_argument("--telemetry-dir", default="", metavar="DIR",
+                           help="write campaign_metrics.prom and "
+                                "campaign_dashboard.html into DIR at "
+                                "campaign end (default: next to --output, "
+                                "else the working directory)")
     parser.add_argument("--verify", action="store_true",
                         help="arm the consistency audit (repro.verify) in "
                              "every simulated run; an invariant violation "
@@ -406,6 +423,66 @@ def _audit_main(argv: List[str]) -> int:
     return 0
 
 
+def _top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pomtlb top",
+        description="Render a live fleet view of a running (or finished) "
+                    "campaign from its --status-out NDJSON stream.")
+    parser.add_argument("status", help="NDJSON status file written by "
+                                       "'pomtlb campaign --status-out'")
+    parser.add_argument("--follow", action="store_true",
+                        help="keep tailing and redrawing until the "
+                             "campaign_end event (default: render the "
+                             "current state once and exit)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="redraw period with --follow (default 1.0)")
+    return parser
+
+
+def _top_main(argv: List[str]) -> int:
+    import time
+
+    from .obs import StatusSnapshot
+    from .obs.telemetry import render_top
+
+    args = _top_parser().parse_args(argv)
+    if args.interval <= 0:
+        print("--interval must be > 0", file=sys.stderr)
+        return EXIT_USAGE
+    snapshot = StatusSnapshot()
+    try:
+        stream = open(args.status, "r", encoding="utf-8")
+    except OSError as exc:
+        print(f"cannot open status file: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        while True:
+            # The writer emits whole flushed lines; a partial final line
+            # (mid-write) parses as garbage once at worst and is ignored
+            # by the tolerant snapshot, then re-read complete next poll.
+            position = stream.tell()
+            line = stream.readline()
+            if line:
+                if not line.endswith("\n"):
+                    stream.seek(position)
+                else:
+                    snapshot.apply_line(line)
+                    continue
+            if not args.follow or snapshot.finished:
+                break
+            sys.stdout.write("\x1b[2J\x1b[H" + render_top(snapshot) + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        stream.close()
+    sys.stdout.write(render_top(snapshot) + "\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -413,12 +490,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "audit":
         return _audit_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         print("static:  ", ", ".join(sorted(_STATIC)))
         print("dynamic: ", ", ".join(sorted(_DYNAMIC)),
               "+ campaign, details, profile")
-        print("tools:    trace pack, trace unpack, audit")
+        print("tools:    trace pack, trace unpack, audit, top")
         print("benchmarks:", ", ".join(BENCHMARKS))
         return 0
 
@@ -443,7 +522,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for flag, name in ((args.checkpoint, "--checkpoint"),
                            (args.resume, "--resume"),
                            (args.workload_cache, "--workload-cache"),
-                           (args.inject_faults, "--inject-faults")):
+                           (args.inject_faults, "--inject-faults"),
+                           (args.status_out, "--status-out"),
+                           (args.telemetry_dir, "--telemetry-dir")):
             if flag:
                 print(f"{name} only applies to 'pomtlb campaign'",
                       file=sys.stderr)
@@ -476,6 +557,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("note: per-translation tracing/metrics run in-process; "
               "with --workers > 1 only campaign-level run events are "
               "traced", file=sys.stderr)
+    telemetry = NO_TELEMETRY
+    if args.status_out or args.telemetry_dir:
+        from .obs import CampaignTelemetry
+        export_dir = args.telemetry_dir or os.path.dirname(args.output) or "."
+        try:
+            telemetry = CampaignTelemetry(status_path=args.status_out,
+                                          export_dir=export_dir)
+        except OSError as exc:
+            print(f"cannot open --status-out file: {exc}", file=sys.stderr)
+            return 2
     degraded = False
     try:
         if args.experiment == "campaign":
@@ -485,7 +576,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                           obs_factory=obs_factory,
                                           checkpoint_path=args.checkpoint,
                                           resume=args.resume, faults=faults,
-                                          workload_cache=args.workload_cache)
+                                          workload_cache=args.workload_cache,
+                                          telemetry=telemetry)
                 text = json.dumps(
                     [json.loads(report.to_json()) for report in result],
                     indent=2) + "\n"
@@ -497,7 +589,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     obs_factory=obs_factory,
                     checkpoint_path=args.checkpoint,
                     resume=args.resume, faults=faults,
-                    workload_cache=args.workload_cache)
+                    workload_cache=args.workload_cache,
+                    telemetry=telemetry)
                 text = buffer.getvalue()
             if result.failures:
                 degraded = True

@@ -23,8 +23,9 @@ from typing import Iterable, List, Optional, TextIO
 
 from ..common import addr
 from ..faults import NO_FAULTS, FaultPlan
-from ..obs import NULL_TRACER
-from ..resilience import CheckpointStore, RetryPolicy, RunRequest, execute_runs
+from ..obs import NO_TELEMETRY, NULL_TRACER
+from ..resilience import (CheckpointStore, RetryPolicy, RunRequest,
+                          execute_runs, run_key)
 from ..workloads import shm as workload_shm
 from ..workloads.cache import WorkloadCache, params_workload_key
 from ..workloads.packed import decode_container, encode_workload
@@ -33,12 +34,24 @@ from ..workloads.trace import validate_stream
 from . import figures, tables
 from .report import Report
 from .runner import ExperimentParams, ObsFactory, SuiteRunner
-from .schedule import cost_function
+from .schedule import cost_function, predicted_costs
 
 #: Subset used for the (expensive) sensitivity sweeps; spans the
 #: pattern space: pointer-chase, random, scan, grid, graph, mixed.
 SENSITIVITY_BENCHMARKS = ("astar", "gups", "mcf", "lbm",
                           "ccomponent", "streamcluster")
+
+
+def _progress_write(stream: TextIO, line: str) -> None:
+    """Emit one progress record as a single flushed ``write()``.
+
+    Progress lines land on a stream that pooled completions hammer in
+    quick succession; one write per record (never two for text +
+    newline) plus an immediate flush is what keeps ``# [k/N]`` lines
+    from shearing mid-line when stderr is shared or block-buffered.
+    """
+    stream.write(line)
+    stream.flush()
 
 
 class CampaignResult(List[Report]):
@@ -198,7 +211,8 @@ def run_all(params: Optional[ExperimentParams] = None,
             faults: FaultPlan = NO_FAULTS,
             progress: Optional[TextIO] = None,
             workload_cache: str = "",
-            share_workloads: bool = True) -> CampaignResult:
+            share_workloads: bool = True,
+            telemetry=NO_TELEMETRY) -> CampaignResult:
     """Run the whole campaign, streaming rendered reports to ``out``.
 
     ``KeyboardInterrupt`` propagates to the caller after worker teardown;
@@ -214,6 +228,13 @@ def run_all(params: Optional[ExperimentParams] = None,
     workload compilation entirely (every run regenerates its own
     streams) — the status-quo comparator the throughput benchmark and
     equivalence tests measure against.
+
+    ``telemetry`` (default :data:`repro.obs.NO_TELEMETRY`) aggregates
+    campaign-wide metrics, streams NDJSON status events, and writes the
+    Prometheus/dashboard artifacts on completion — see
+    :mod:`repro.obs.telemetry`.  Telemetry writes only to its own files
+    and the progress stream; the report on ``out`` stays byte-identical
+    with telemetry on or off.
     """
     params = params or ExperimentParams.from_env()
     progress = progress if progress is not None else sys.stderr
@@ -228,8 +249,9 @@ def run_all(params: Optional[ExperimentParams] = None,
         checkpoint = CheckpointStore(checkpoint_path, faults=faults,
                                      load=resume)
         if resume and checkpoint.skipped_lines:
-            progress.write(f"# checkpoint: skipped "
-                           f"{checkpoint.skipped_lines} damaged line(s)\n")
+            _progress_write(progress,
+                            f"# checkpoint: skipped "
+                            f"{checkpoint.skipped_lines} damaged line(s)\n")
 
     control_obs = obs_factory("campaign", "control") if obs_factory else None
     tracer = control_obs.tracer if control_obs is not None else NULL_TRACER
@@ -245,16 +267,72 @@ def run_all(params: Optional[ExperimentParams] = None,
         state = ("restored" if outcome.restored
                  else "ok" if outcome.ok
                  else f"FAILED ({outcome.failure.error.type})")
-        progress.write(f"# [{done['count']}/{total}] "
-                       f"{outcome.request.label} {state}\n")
+        _progress_write(progress,
+                        f"# [{done['count']}/{total}] "
+                        f"{outcome.request.label} {state}\n")
+
+    cost = (cost_function()
+            if parallel or telemetry.enabled else None)
+    if telemetry.enabled:
+        # The LPT accuracy tracker needs the scheduler's prediction for
+        # every run, serial campaigns included — calibration is what
+        # adaptive sweeps will feed on.  Keys collapse duplicate
+        # requests (the sensitivity sweep shares points with the main
+        # grid) exactly like the executor does, so runs_planned equals
+        # completed + failed + restored at campaign end.
+        predictions = predicted_costs(
+            requests, cost,
+            key=lambda r: run_key(r.benchmark, r.scheme, r.params))
+        telemetry.campaign_start(len(predictions), params.workers)
+        for key, predicted in predictions.items():
+            telemetry.predict(key, predicted)
 
     workloads = (_CompiledWorkloads(workload_cache, parallel)
                  if share_workloads else None)
     try:
+        return _run_all_inner(params, names, requests, out, progress,
+                              include_sensitivity, runner, workloads,
+                              simulate_parallel=parallel,
+                              checkpoint=checkpoint, retry=retry,
+                              faults=faults, tracer=tracer,
+                              on_outcome=on_outcome, cost=cost,
+                              telemetry=telemetry)
+    finally:
+        # Close the status stream even when the campaign dies mid-way —
+        # a tailing `pomtlb top` then sees a complete final line.
+        telemetry.close()
+
+
+def _run_all_inner(params, names, requests, out, progress,
+                   include_sensitivity, runner, workloads, *,
+                   simulate_parallel, checkpoint, retry, faults, tracer,
+                   on_outcome, cost, telemetry) -> CampaignResult:
+    parallel = simulate_parallel
+    # Monotonic, not wall clock: an NTP step mid-campaign must not
+    # corrupt the finishing time (or any duration derived from it).
+    started = time.monotonic()
+    try:
         if workloads is not None:
             requests = workloads.compile(requests)
-            progress.write(f"# workloads: {workloads.compiled} compiled, "
-                           f"{workloads.cache_hits} cached\n")
+            if workloads.cache is not None:
+                stats = workloads.cache.stats()
+                hits, misses = stats["hits"], stats["misses"]
+                rejected = stats["rejected"]
+                cache_note = (f" (cache: {hits} hits, {misses} misses"
+                              + (f", {rejected} rejected" if rejected
+                                 else "") + ")")
+            else:
+                # No cache directory: every distinct workload was
+                # compiled fresh, which the telemetry reconciliation
+                # counts as a miss (hits + misses == workloads needed).
+                hits, misses, rejected = 0, workloads.compiled, 0
+                cache_note = ""
+            _progress_write(progress,
+                            f"# workloads: {workloads.compiled} compiled, "
+                            f"{workloads.cache_hits} cached{cache_note}\n")
+            if telemetry.enabled:
+                telemetry.workloads_compiled(workloads.compiled, hits,
+                                             misses, rejected)
 
         simulate = None
         if not parallel:
@@ -277,7 +355,8 @@ def run_all(params: Optional[ExperimentParams] = None,
                                 tracer=tracer,
                                 on_outcome=on_outcome,
                                 simulate=simulate,
-                                cost=cost_function() if parallel else None)
+                                cost=cost if parallel else None,
+                                telemetry=telemetry)
     finally:
         if workloads is not None:
             workloads.release()
@@ -302,7 +381,6 @@ def run_all(params: Optional[ExperimentParams] = None,
         out.write("\n\n")
         out.flush()
 
-    started = time.time()
     out.write(f"# POM-TLB evaluation campaign\n"
               f"# params: {params}\n\n")
     emit(tables.table1(params.system_config()))
@@ -322,11 +400,17 @@ def run_all(params: Optional[ExperimentParams] = None,
         emit(figures.sensitivity_cores(runner, sens))
     if result.failures:
         emit(_failure_summary(result.failures))
-    # Wall-clock timing goes to the progress stream, not the report: the
-    # report must be byte-identical run to run for a fixed seed.
-    progress.write(f"# campaign finished in {time.time() - started:.0f}s\n")
+    # Timing goes to the progress stream, not the report: the report
+    # must be byte-identical run to run for a fixed seed.
+    _progress_write(progress,
+                    f"# campaign finished in "
+                    f"{time.monotonic() - started:.0f}s\n")
     out.flush()
     result.simulated += runner.simulations
+    if telemetry.enabled:
+        telemetry.campaign_end(simulated=result.simulated)
+        for path in telemetry.export():
+            _progress_write(progress, f"# telemetry: wrote {path}\n")
     return result
 
 

@@ -82,3 +82,16 @@ def cost_function(path: str = "BENCH_engine.json",
     """
     resolved = rates if rates is not None else load_rates(path)
     return lambda request: expected_cost(request, resolved)
+
+
+def predicted_costs(requests, cost: Callable[[object], float],
+                    key: Callable[[object], str]) -> Dict[str, float]:
+    """Schedule predictions keyed by run key, for calibration tracking.
+
+    The campaign feeds these into the telemetry LPT-accuracy tracker
+    before any run executes; pairing each prediction with the measured
+    wall time afterwards yields the calibration error (MAPE/bias) that
+    tells whether ``BENCH_engine.json`` rates have drifted from the
+    machine actually running the campaign.
+    """
+    return {key(request): cost(request) for request in requests}

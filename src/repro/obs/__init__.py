@@ -22,6 +22,8 @@ from typing import Dict, Optional
 
 from .histogram import LogHistogram
 from .sinks import ChromeTraceSink, JsonlSink, ListSink
+from .telemetry import (NO_TELEMETRY, CampaignTelemetry, LptAccuracy,
+                        MetricsRegistry, NullTelemetry, StatusSnapshot)
 from .tracer import NULL_TRACER, EventTracer, NullTracer
 from .windows import WindowedMetrics
 
@@ -79,14 +81,20 @@ class Observability:
 
 
 __all__ = [
+    "CampaignTelemetry",
     "ChromeTraceSink",
     "EventTracer",
     "HISTOGRAMS",
     "JsonlSink",
     "ListSink",
     "LogHistogram",
+    "LptAccuracy",
+    "MetricsRegistry",
+    "NO_TELEMETRY",
     "NULL_TRACER",
+    "NullTelemetry",
     "NullTracer",
     "Observability",
+    "StatusSnapshot",
     "WindowedMetrics",
 ]

@@ -36,7 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..common.errors import ReproError, RunTimeout, WorkerCrash
 from ..faults import NO_FAULTS, FaultPlan
-from ..obs import NULL_TRACER
+from ..obs import NO_TELEMETRY, NULL_TRACER
 from ..obs import events as obs_events
 from .checkpoint import CheckpointStore, run_key
 from .retry import RetryPolicy, is_transient
@@ -108,9 +108,22 @@ class RunOutcome:
 
 # -- child-process side --------------------------------------------------------
 
+def _measurement(wall_s: float, cpu_s: Optional[float],
+                 workload: Optional[str]) -> dict:
+    """The attempt measurement that rides the result pipe.
+
+    Workers never touch the parent's metrics registry: they measure
+    their own attempt and ship the numbers home with the result, which
+    is what makes campaign telemetry multiprocessing-safe without locks.
+    """
+    return {"wall_s": wall_s, "cpu_s": cpu_s, "workload": workload}
+
+
 def _child_entry(request: RunRequest, fault: Optional[Tuple[str, int]],
                  conn) -> None:
     """Run one attempt in a worker process and report over ``conn``."""
+    started = time.monotonic()
+    started_cpu = time.process_time()
     try:
         if fault is not None:
             kind = fault[0]
@@ -119,20 +132,32 @@ def _child_entry(request: RunRequest, fault: Optional[Tuple[str, int]],
             if kind == "hang":
                 while True:  # parked until the parent's timeout kills us
                     time.sleep(60)
-        run = _simulate(request, fault)
-        conn.send(("ok", run))
+        run, source = _simulate_measured(request, fault)
+        meas = _measurement(time.monotonic() - started,
+                            time.process_time() - started_cpu, source)
+        conn.send(("ok", run, meas))
     except BaseException as error:  # noqa: BLE001 - must cross the pipe
-        conn.send(("error", ErrorInfo.from_exception(error)))
+        meas = _measurement(time.monotonic() - started,
+                            time.process_time() - started_cpu, None)
+        conn.send(("error", ErrorInfo.from_exception(error), meas))
     finally:
         conn.close()
 
 
-def _simulate(request: RunRequest, fault: Optional[Tuple[str, int]]):
+def _simulate_measured(request: RunRequest,
+                       fault: Optional[Tuple[str, int]]):
+    """One attempt plus how its workload was sourced.
+
+    The source tag feeds the ``pomtlb_campaign_workload_source_total``
+    telemetry counter: ``shm`` (arena attach), ``mmap`` (cache file),
+    ``regenerated`` (ref was dead — vanished segment / torn cache
+    entry) or ``generated`` (no ref at all).
+    """
     from ..experiments.runner import simulate_run
 
     if request.workload_ref is None:
         return simulate_run(request.benchmark, request.scheme,
-                            request.params, fault=fault)
+                            request.params, fault=fault), "generated"
     from ..common.errors import PackedTraceError
     from ..workloads.shm import attach_container
 
@@ -143,13 +168,19 @@ def _simulate(request: RunRequest, fault: Optional[Tuple[str, int]]):
         # segment, cache file torn).  Regenerating is always correct —
         # the ref is an optimization, never the source of truth.
         return simulate_run(request.benchmark, request.scheme,
-                            request.params, fault=fault)
+                            request.params, fault=fault), "regenerated"
+    source = "shm" if request.workload_ref.shm_name else "mmap"
     try:
         return simulate_run(request.benchmark, request.scheme,
                             request.params, fault=fault,
-                            workload=container.workload())
+                            workload=container.workload()), source
     finally:
         container.backing.close()
+
+
+def _simulate(request: RunRequest, fault: Optional[Tuple[str, int]]):
+    """Serial-mode default simulation callable (result only)."""
+    return _simulate_measured(request, fault)[0]
 
 
 # -- the executor --------------------------------------------------------------
@@ -177,6 +208,7 @@ def execute_runs(requests: List[RunRequest],
                  on_outcome: Optional[Callable[[RunOutcome], None]] = None,
                  simulate: Optional[Callable] = None,
                  cost: Optional[Callable[[RunRequest], float]] = None,
+                 telemetry=NO_TELEMETRY,
                  ) -> List[RunOutcome]:
     """Execute every request; never raises for per-run failures.
 
@@ -196,6 +228,11 @@ def execute_runs(requests: List[RunRequest],
     makespan wasted on stragglers; serial mode ignores it — order
     cannot change serial wall-clock, and stable enumeration order keeps
     progress output deterministic.
+
+    ``telemetry`` (default :data:`repro.obs.NO_TELEMETRY`, the null
+    object) receives run-lifecycle hooks — queued, dispatched, retried,
+    finished (with worker wall/CPU measurements riding the result
+    pipe), checkpoint writes/skips, and heartbeat samples.
     """
     retry = retry or RetryPolicy()
     outcomes: Dict[str, RunOutcome] = {}
@@ -210,16 +247,21 @@ def execute_runs(requests: List[RunRequest],
         if restored is not None:
             outcomes[key] = RunOutcome(request=request, key=key, run=restored,
                                        restored=True)
+            if telemetry.enabled:
+                telemetry.run_restored(key, request)
             _trace_complete(tracer, outcomes[key])
             if on_outcome:
                 on_outcome(outcomes[key])
         else:
             outcomes[key] = RunOutcome(request=request, key=key)
+            if telemetry.enabled:
+                telemetry.run_queued(key, request)
             todo.append(_Attempt(request, key, 1))
 
     context = _Context(retry=retry, faults=faults, checkpoint=checkpoint,
                        tracer=tracer, timeout_s=timeout_s,
-                       on_outcome=on_outcome, outcomes=outcomes)
+                       on_outcome=on_outcome, outcomes=outcomes,
+                       telemetry=telemetry)
     if todo:
         if workers and workers > 1:
             if cost is not None:
@@ -242,6 +284,7 @@ class _Context:
     timeout_s: float
     on_outcome: Optional[Callable[[RunOutcome], None]]
     outcomes: Dict[str, RunOutcome]
+    telemetry: object = NO_TELEMETRY
 
     def take_fault(self, request: RunRequest) -> Optional[Tuple[str, int]]:
         if not self.faults.enabled:
@@ -252,29 +295,46 @@ class _Context:
                 f"injected interrupt before {request.label}")
         return fault
 
-    def succeed(self, attempt: _Attempt, run) -> None:
+    def succeed(self, attempt: _Attempt, run,
+                meas: Optional[dict] = None) -> None:
         outcome = self.outcomes[attempt.key]
         outcome.run = run
         outcome.attempts = attempt.number
         if self.checkpoint is not None:
             try:
                 self.checkpoint.put(attempt.key, run)
+                if self.telemetry.enabled:
+                    self.telemetry.checkpoint_write(ok=True)
             except OSError as error:
                 print(f"warning: checkpoint write failed ({error}); "
                       f"continuing without durability for this run",
                       file=sys.stderr)
+                if self.telemetry.enabled:
+                    self.telemetry.checkpoint_write(ok=False)
                 if self.tracer.enabled:
                     self.tracer.marker("checkpoint_write_failed",
                                        error=str(error))
+        if self.telemetry.enabled:
+            meas = meas or {}
+            self.telemetry.run_finished(
+                attempt.key, attempt.request, ok=True,
+                attempts=attempt.number,
+                wall_s=meas.get("wall_s", 0.0),
+                cpu_s=meas.get("cpu_s"),
+                workload_source=meas.get("workload"))
         _trace_complete(self.tracer, outcome)
         if self.on_outcome:
             self.on_outcome(outcome)
 
-    def fail_or_retry(self, attempt: _Attempt, error: ErrorInfo
-                      ) -> Optional[_Attempt]:
+    def fail_or_retry(self, attempt: _Attempt, error: ErrorInfo,
+                      meas: Optional[dict] = None) -> Optional[_Attempt]:
         """Returns the next attempt to queue, or None (run failed)."""
         if error.transient and attempt.number <= self.retry.max_retries:
             delay = self.retry.delay_s(attempt.key, attempt.number)
+            if self.telemetry.enabled:
+                self.telemetry.run_retry(
+                    attempt.key, attempt.request, attempt.number,
+                    error=f"{error.type}: {error.message}", delay_s=delay)
             if self.tracer.enabled:
                 self.tracer.emit(obs_events.RUN_RETRY,
                                  benchmark=attempt.request.benchmark,
@@ -288,6 +348,15 @@ class _Context:
                                      scheme=attempt.request.scheme,
                                      error=error, attempts=attempt.number)
         outcome.attempts = attempt.number
+        if self.telemetry.enabled:
+            meas = meas or {}
+            self.telemetry.run_finished(
+                attempt.key, attempt.request, ok=False,
+                attempts=attempt.number,
+                wall_s=meas.get("wall_s", 0.0),
+                cpu_s=meas.get("cpu_s"),
+                error=f"{error.type}: {error.message}",
+                workload_source=meas.get("workload"))
         if self.tracer.enabled:
             self.tracer.emit(obs_events.RUN_FAILURE,
                              benchmark=attempt.request.benchmark,
@@ -313,12 +382,18 @@ def _trace_complete(tracer, outcome: RunOutcome) -> None:
 def _run_serial(todo: List[_Attempt], ctx: _Context,
                 simulate: Callable) -> None:
     queue = deque(todo)
+    telemetry = ctx.telemetry
     while queue:
         attempt = queue.popleft()
         wait = attempt.ready_at - time.monotonic()
         if wait > 0:
             time.sleep(wait)
         fault = ctx.take_fault(attempt.request)
+        if telemetry.enabled:
+            telemetry.run_dispatched(attempt.key, attempt.request,
+                                     attempt.number, mode="serial")
+        started = time.monotonic()
+        started_cpu = time.process_time()
         try:
             if fault is not None and fault[0] == "crash":
                 # No process isolation to die in: synthesise the error the
@@ -331,11 +406,20 @@ def _run_serial(todo: List[_Attempt], ctx: _Context,
             run = simulate(attempt.request, fault)
         except Exception as error:  # KeyboardInterrupt propagates
             retry_attempt = ctx.fail_or_retry(
-                attempt, ErrorInfo.from_exception(error))
+                attempt, ErrorInfo.from_exception(error),
+                meas=_measurement(time.monotonic() - started,
+                                  time.process_time() - started_cpu, None))
             if retry_attempt is not None:
                 queue.append(retry_attempt)
+            if telemetry.enabled:
+                telemetry.sample(queued=len(queue), running=0)
             continue
-        ctx.succeed(attempt, run)
+        ctx.succeed(attempt, run,
+                    meas=_measurement(time.monotonic() - started,
+                                      time.process_time() - started_cpu,
+                                      None))
+        if telemetry.enabled:
+            telemetry.sample(queued=len(queue), running=0)
 
 
 # -- pooled mode ---------------------------------------------------------------
@@ -360,10 +444,17 @@ class _Worker:
             daemon=True)
         self.process.start()
         child_conn.close()
-        self.deadline = (time.monotonic() + timeout_s) if timeout_s else None
+        self.started = time.monotonic()
+        self.deadline = (self.started + timeout_s) if timeout_s else None
 
-    def poll(self) -> Optional[Tuple[str, object]]:
-        """Non-blocking check: a ("ok"|"error", payload) message, a
+    def _synthesized(self, error) -> Tuple[str, object, dict]:
+        """An error message for attempts that never reported themselves
+        (crashed or killed children): wall time is parent-measured."""
+        return ("error", ErrorInfo.from_exception(error),
+                _measurement(time.monotonic() - self.started, None, None))
+
+    def poll(self) -> Optional[Tuple[str, object, dict]]:
+        """Non-blocking check: a ("ok"|"error", payload, meas) message, a
         synthesised error for crash/timeout, or None (still running)."""
         if self.conn.poll():
             try:
@@ -373,19 +464,19 @@ class _Worker:
             self.process.join()
             if message is not None:
                 return message
-            return ("error", ErrorInfo.from_exception(WorkerCrash(
+            return self._synthesized(WorkerCrash(
                 self.attempt.request.benchmark, self.attempt.request.scheme,
-                self.process.exitcode or 0)))
+                self.process.exitcode or 0))
         if not self.process.is_alive():
             self.process.join()
-            return ("error", ErrorInfo.from_exception(WorkerCrash(
+            return self._synthesized(WorkerCrash(
                 self.attempt.request.benchmark, self.attempt.request.scheme,
-                self.process.exitcode or 0)))
+                self.process.exitcode or 0))
         if self.deadline is not None and time.monotonic() > self.deadline:
             self.kill()
-            return ("error", ErrorInfo.from_exception(RunTimeout(
+            return self._synthesized(RunTimeout(
                 self.attempt.request.benchmark, self.attempt.request.scheme,
-                self.timeout_s)))
+                self.timeout_s))
         return None
 
     def kill(self) -> None:
@@ -400,6 +491,7 @@ class _Worker:
 
 def _run_pooled(todo: List[_Attempt], workers: int, ctx: _Context) -> None:
     ctx_mp = _mp_context()
+    telemetry = ctx.telemetry
     queue = deque(todo)
     running: List[_Worker] = []
     try:
@@ -413,6 +505,10 @@ def _run_pooled(todo: List[_Attempt], workers: int, ctx: _Context) -> None:
                     attempt = queue.popleft()
                     if attempt.ready_at <= now:
                         fault = ctx.take_fault(attempt.request)
+                        if telemetry.enabled:
+                            telemetry.run_dispatched(
+                                attempt.key, attempt.request,
+                                attempt.number, mode="pool")
                         running.append(_Worker(ctx_mp, attempt, fault,
                                                ctx.timeout_s))
                         launched = True
@@ -425,14 +521,17 @@ def _run_pooled(todo: List[_Attempt], workers: int, ctx: _Context) -> None:
                 if message is None:
                     still_running.append(worker)
                     continue
-                status, payload = message
+                status, payload, meas = message
                 if status == "ok":
-                    ctx.succeed(worker.attempt, payload)
+                    ctx.succeed(worker.attempt, payload, meas=meas)
                 else:
-                    retry_attempt = ctx.fail_or_retry(worker.attempt, payload)
+                    retry_attempt = ctx.fail_or_retry(worker.attempt, payload,
+                                                      meas=meas)
                     if retry_attempt is not None:
                         queue.append(retry_attempt)
             running = still_running
+            if telemetry.enabled:
+                telemetry.sample(queued=len(queue), running=len(running))
             if queue or running:
                 time.sleep(_POLL_S)
     except BaseException:

@@ -126,3 +126,26 @@ class TestLptDispatch:
                                  simulate=fake_simulate,
                                  cost=cost_function())
         assert executed == ["baseline", "pom_skewed", "pom"]
+
+
+class TestPredictedCosts:
+    def test_keys_map_to_costs(self):
+        from repro.experiments.schedule import predicted_costs
+
+        cost = cost_function(rates=dict(DEFAULT_REFS_PER_SEC))
+        requests = [RunRequest("gups", "baseline", PARAMS),
+                    RunRequest("gups", "pom_skewed", PARAMS)]
+        predictions = predicted_costs(requests, cost,
+                                      key=lambda r: r.scheme)
+        assert set(predictions) == {"baseline", "pom_skewed"}
+        assert predictions["pom_skewed"] > predictions["baseline"]
+        assert predictions["baseline"] == cost(requests[0])
+
+    def test_duplicate_keys_collapse(self):
+        from repro.experiments.schedule import predicted_costs
+
+        cost = cost_function(rates=dict(DEFAULT_REFS_PER_SEC))
+        requests = [RunRequest("gups", "pom", PARAMS)] * 3
+        predictions = predicted_costs(requests, cost,
+                                      key=lambda r: r.scheme)
+        assert len(predictions) == 1

@@ -214,3 +214,97 @@ class TestPooled:
                                 faults=plan)
         assert not outcomes[0].ok
         assert outcomes[0].failure.error.type == "RunTimeout"
+
+
+class _RecordingTelemetry:
+    """Records every executor hook call; enabled so gates stay open."""
+
+    enabled = True
+
+    def __init__(self):
+        self.calls = []
+
+    def _record(self, name):
+        def hook(*args, **kwargs):
+            self.calls.append((name, args, kwargs))
+        return hook
+
+    def __getattr__(self, name):
+        return self._record(name)
+
+    def of(self, name):
+        return [(args, kwargs) for n, args, kwargs in self.calls
+                if n == name]
+
+
+class TestTelemetryHooks:
+    def test_serial_lifecycle_hooks(self):
+        telemetry = _RecordingTelemetry()
+        execute_runs([request()], retry=FAST_RETRY,
+                     simulate=lambda req, fault: _StubRun(),
+                     telemetry=telemetry)
+        names = [name for name, _, _ in telemetry.calls]
+        assert names[0] == "run_queued"
+        assert "run_dispatched" in names
+        assert "run_finished" in names
+        (args, kwargs) = telemetry.of("run_finished")[0]
+        assert kwargs["ok"] is True
+        assert kwargs["attempts"] == 1
+        assert kwargs["wall_s"] >= 0
+        assert kwargs["cpu_s"] is not None  # parent-measured in serial
+
+    def test_retry_and_failure_hooks(self):
+        telemetry = _RecordingTelemetry()
+        plan = FaultPlan.parse("crash@gups/pom#*")
+        execute_runs([request()],
+                     retry=RetryPolicy(max_retries=1, base_delay_s=0.0,
+                                       jitter=0.0),
+                     faults=plan, telemetry=telemetry,
+                     simulate=lambda req, fault: _StubRun())
+        assert len(telemetry.of("run_retry")) == 1
+        (_, kwargs) = telemetry.of("run_retry")[0]
+        assert "WorkerCrash" in kwargs["error"]
+        (_, kwargs) = telemetry.of("run_finished")[0]
+        assert kwargs["ok"] is False
+        assert "WorkerCrash" in kwargs["error"]
+
+    def test_restored_run_hook(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck.jsonl"))
+        run = simulate_run("gups", "pom", TINY)
+        store.put(run_key("gups", "pom", TINY), run)
+        telemetry = _RecordingTelemetry()
+        execute_runs([request()], retry=FAST_RETRY, checkpoint=store,
+                     telemetry=telemetry)
+        names = [name for name, _, _ in telemetry.calls]
+        assert "run_restored" in names
+        assert "run_dispatched" not in names
+
+    def test_checkpoint_write_hook(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck.jsonl"))
+        telemetry = _RecordingTelemetry()
+        execute_runs([request()], retry=FAST_RETRY, checkpoint=store,
+                     telemetry=telemetry,
+                     simulate=lambda req, fault: simulate_run(
+                         req.benchmark, req.scheme, req.params))
+        assert telemetry.of("checkpoint_write") == [((), {"ok": True})]
+
+    def test_pooled_measurements_ride_the_result_pipe(self):
+        telemetry = _RecordingTelemetry()
+        outcomes = execute_runs([request()], workers=2, retry=FAST_RETRY,
+                                telemetry=telemetry)
+        assert outcomes[0].ok
+        (_, kwargs) = telemetry.of("run_finished")[0]
+        assert kwargs["ok"] is True
+        assert kwargs["wall_s"] > 0        # measured inside the worker
+        assert kwargs["cpu_s"] is not None
+        assert kwargs["workload_source"] is not None
+        (_, kwargs) = telemetry.of("run_dispatched")[0]
+        assert kwargs["mode"] == "pool"
+
+    def test_null_telemetry_default_records_nothing(self):
+        # The default path must not even look up hook attributes.
+        from repro.obs import NO_TELEMETRY
+        outcomes = execute_runs([request()], retry=FAST_RETRY,
+                                simulate=lambda req, fault: _StubRun(),
+                                telemetry=NO_TELEMETRY)
+        assert outcomes[0].ok
