@@ -99,50 +99,143 @@ class CacheHierarchy:
         """
         l1, l2 = self._l1[core], self._l2[core]
         wb = self._writeback
-        if l1.lookup(paddr, DATA):
+        # The whole non-writeback path is unrolled over the caches' set
+        # dicts: probes (the hit is the common outcome for page-walk PTE
+        # references, this method's dominant caller) and the miss-path
+        # fills.  Unconditional pop + reinsert produces the same recency
+        # order as lookup()'s conditional move-to-end; the inlined fills
+        # skip fill()'s already-resident branch (the probe just missed)
+        # and its write-back bookkeeping (the dirty set stays empty
+        # without writeback_modeling, so victims only need the rare
+        # discard below).
+        line = paddr >> l1._line_shift
+        set1 = line & l1._set_mask
+        tags1 = l1._tags[set1]
+        tag1 = line >> l1._set_shift
+        kind = tags1.pop(tag1, None)
+        if kind is not None:
+            tags1[tag1] = kind
+            slot = l1._data_hits
+            slot.value += 1
+            slot.touched = True
             if wb and is_write:
                 l1.mark_dirty(paddr)
             return self._l1_latency
-        if l2.lookup(paddr, DATA):
+        slot = l1._data_misses
+        slot.value += 1
+        slot.touched = True
+        line = paddr >> l2._line_shift
+        set2 = line & l2._set_mask
+        tags2 = l2._tags[set2]
+        tag2 = line >> l2._set_shift
+        kind = tags2.pop(tag2, None)
+        if kind is not None:
+            tags2[tag2] = kind
+            slot = l2._data_hits
+            slot.value += 1
+            slot.touched = True
             if wb:
                 if is_write:
                     l2.mark_dirty(paddr)
                 self._fill_l1(core, paddr, dirty=is_write)
             else:
-                l1.fill(paddr, DATA)
+                if len(tags1) >= l1._ways:
+                    victim = next(iter(tags1))
+                    slot = (l1._data_evictions
+                            if tags1.pop(victim) == DATA
+                            else l1._tlb_evictions)
+                    slot.value += 1
+                    slot.touched = True
+                    if l1._dirty:
+                        l1._dirty.discard((set1, victim))
+                tags1[tag1] = DATA
+                slot = l1._data_fills
+                slot.value += 1
+                slot.touched = True
             return self._l2_latency
+        slot = l2._data_misses
+        slot.value += 1
+        slot.touched = True
         l3 = self._l3
-        if l3.lookup(paddr, DATA):
+        line = paddr >> l3._line_shift
+        set3 = line & l3._set_mask
+        tags3 = l3._tags[set3]
+        tag3 = line >> l3._set_shift
+        kind = tags3.pop(tag3, None)
+        if kind is not None:
+            tags3[tag3] = kind
+            slot = l3._data_hits
+            slot.value += 1
+            slot.touched = True
             if wb:
                 if is_write:
                     l3.mark_dirty(paddr)
                 self._fill_l2(core, paddr, dirty=False)
                 self._fill_l1(core, paddr, dirty=is_write)
-            else:
-                l2.fill(paddr, DATA)
-                l1.fill(paddr, DATA)
-            return self._l3_latency
-        cycles = self._l3_latency
-        if self._l4 is not None:
-            probe = self._l4.access(paddr)
-            if probe.hit:
-                cycles += probe.cycles
-            else:
-                # Self-balancing dispatch (Sim et al. [44]): the off-chip
-                # access is issued in parallel with the stacked probe, so
-                # a miss costs the slower of the two, not their sum.
-                cycles += max(probe.cycles, self._dram.access(paddr))
-                self._l4.fill(paddr)
+                return self._l3_latency
+            cycles = self._l3_latency
         else:
-            cycles += self._dram.access(paddr)
-        if wb:
-            self._fill_l3(paddr, dirty=False)
-            self._fill_l2(core, paddr, dirty=False)
-            self._fill_l1(core, paddr, dirty=is_write)
-        else:
-            l3.fill(paddr, DATA)
-            l2.fill(paddr, DATA)
-            l1.fill(paddr, DATA)
+            slot = l3._data_misses
+            slot.value += 1
+            slot.touched = True
+            cycles = self._l3_latency
+            if self._l4 is not None:
+                probe = self._l4.access(paddr)
+                if probe.hit:
+                    cycles += probe.cycles
+                else:
+                    # Self-balancing dispatch (Sim et al. [44]): the
+                    # off-chip access is issued in parallel with the
+                    # stacked probe, so a miss costs the slower of the
+                    # two, not their sum.
+                    cycles += max(probe.cycles, self._dram.access(paddr))
+                    self._l4.fill(paddr)
+            else:
+                cycles += self._dram.access(paddr)
+            if wb:
+                self._fill_l3(paddr, dirty=False)
+                self._fill_l2(core, paddr, dirty=False)
+                self._fill_l1(core, paddr, dirty=is_write)
+                return cycles
+            # L3 fill
+            if len(tags3) >= l3._ways:
+                victim = next(iter(tags3))
+                slot = (l3._data_evictions if tags3.pop(victim) == DATA
+                        else l3._tlb_evictions)
+                slot.value += 1
+                slot.touched = True
+                if l3._dirty:
+                    l3._dirty.discard((set3, victim))
+            tags3[tag3] = DATA
+            slot = l3._data_fills
+            slot.value += 1
+            slot.touched = True
+        # L2 fill
+        if len(tags2) >= l2._ways:
+            victim = next(iter(tags2))
+            slot = (l2._data_evictions if tags2.pop(victim) == DATA
+                    else l2._tlb_evictions)
+            slot.value += 1
+            slot.touched = True
+            if l2._dirty:
+                l2._dirty.discard((set2, victim))
+        tags2[tag2] = DATA
+        slot = l2._data_fills
+        slot.value += 1
+        slot.touched = True
+        # L1 fill
+        if len(tags1) >= l1._ways:
+            victim = next(iter(tags1))
+            slot = (l1._data_evictions if tags1.pop(victim) == DATA
+                    else l1._tlb_evictions)
+            slot.value += 1
+            slot.touched = True
+            if l1._dirty:
+                l1._dirty.discard((set1, victim))
+        tags1[tag1] = DATA
+        slot = l1._data_fills
+        slot.value += 1
+        slot.touched = True
         return cycles
 
     # -- write-back plumbing (active only with writeback_modeling) -----------
@@ -208,22 +301,95 @@ class CacheHierarchy:
         issues the set address to the L2D$; L1 is not involved.
         Latencies are load-to-use (an L3 hit costs its 42 cycles total).
         """
+        # Both lookups unrolled over the caches' set dicts — this probe
+        # runs on every L2 TLB miss of the POM schemes (cf. the L1
+        # unroll in data_access).
         l2 = self._l2[core]
-        if l2.lookup(paddr, TLB):
-            return l2.latency, "l2"
-        if self._l3.lookup(paddr, TLB):
+        line = paddr >> l2._line_shift
+        tags = l2._tags[line & l2._set_mask]
+        tag = line >> l2._set_shift
+        if tag in tags:
+            slot = l2._tlb_hits
+            slot.value += 1
+            slot.touched = True
+            if next(reversed(tags)) != tag:
+                tags[tag] = tags.pop(tag)
+            return self._l2_latency, "l2"
+        slot = l2._tlb_misses
+        slot.value += 1
+        slot.touched = True
+        l3 = self._l3
+        line = paddr >> l3._line_shift
+        tags = l3._tags[line & l3._set_mask]
+        tag = line >> l3._set_shift
+        if tag in tags:
+            slot = l3._tlb_hits
+            slot.value += 1
+            slot.touched = True
+            if next(reversed(tags)) != tag:
+                tags[tag] = tags.pop(tag)
             l2.fill(paddr, TLB)
-            return self._l3.latency, "l3"
-        return self._l3.latency, None
+            return self._l3_latency, "l3"
+        slot = l3._tlb_misses
+        slot.value += 1
+        slot.touched = True
+        return self._l3_latency, None
 
     def tlb_line_fill(self, core: int, paddr: int) -> None:
         """Install a POM-TLB line fetched from stacked DRAM into L2/L3."""
-        self._l3.fill(paddr, TLB)
-        self._l2[core].fill(paddr, TLB)
+        # Both fills inlined (TLB kind) — this runs once per
+        # stacked-DRAM set fetch on the POM schemes.  Unlike the
+        # data_access fills the line may already be resident (bypass
+        # fetches fill without probing), so the refresh branch stays.
+        l3 = self._l3
+        line = paddr >> l3._line_shift
+        set3 = line & l3._set_mask
+        tags = l3._tags[set3]
+        tag = line >> l3._set_shift
+        if tag in tags:
+            del tags[tag]
+        elif len(tags) >= l3._ways:
+            victim = next(iter(tags))
+            slot = (l3._data_evictions if tags.pop(victim) == DATA
+                    else l3._tlb_evictions)
+            slot.value += 1
+            slot.touched = True
+            if l3._dirty:
+                l3._dirty.discard((set3, victim))
+        tags[tag] = TLB
+        slot = l3._tlb_fills
+        slot.value += 1
+        slot.touched = True
+        l2 = self._l2[core]
+        line = paddr >> l2._line_shift
+        set2 = line & l2._set_mask
+        tags = l2._tags[set2]
+        tag = line >> l2._set_shift
+        if tag in tags:
+            del tags[tag]
+        elif len(tags) >= l2._ways:
+            victim = next(iter(tags))
+            slot = (l2._data_evictions if tags.pop(victim) == DATA
+                    else l2._tlb_evictions)
+            slot.value += 1
+            slot.touched = True
+            if l2._dirty:
+                l2._dirty.discard((set2, victim))
+        tags[tag] = TLB
+        slot = l2._tlb_fills
+        slot.value += 1
+        slot.touched = True
 
     def tlb_line_cached(self, core: int, paddr: int) -> bool:
         """Side-effect-free check used to train the bypass predictor."""
-        return self._l2[core].contains(paddr) or self._l3.contains(paddr)
+        # contains() inlined twice — runs alongside every tlb_line_probe.
+        l2 = self._l2[core]
+        line = paddr >> l2._line_shift
+        if (line >> l2._set_shift) in l2._tags[line & l2._set_mask]:
+            return True
+        l3 = self._l3
+        line = paddr >> l3._line_shift
+        return (line >> l3._set_shift) in l3._tags[line & l3._set_mask]
 
     def tlb_lines(self) -> List[int]:
         """Every cached TLB-kind line address (L2s then L3, duplicates kept).

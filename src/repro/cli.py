@@ -167,6 +167,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "every simulated run; an invariant violation "
                              "aborts with a VerificationError naming the "
                              "invariant")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="force the scalar replay loop instead of the "
+                             "vectorized batch engine (pomtlb[fast]); "
+                             "results are bit-identical either way "
+                             "(also: POMTLB_BATCH=0)")
     return parser
 
 
@@ -190,6 +195,8 @@ def _params_from_args(args: argparse.Namespace) -> ExperimentParams:
         overrides["retry_backoff_s"] = args.retry_backoff
     if args.verify:
         overrides["verify"] = True
+    if args.no_batch:
+        overrides["batch"] = False
     return ExperimentParams.from_env(**overrides)
 
 

@@ -34,7 +34,7 @@ the engine-equivalence test, the exact same counters.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..cache.hierarchy import CacheHierarchy
 from ..common import addr
@@ -98,6 +98,16 @@ class TranslationScheme:
 
     name = "abstract"
 
+    #: Batch-replay contract (:mod:`repro.core.batch`): the packed
+    #: L1-probe prefix of ``translate_packed`` is this base class's
+    #: implementation, so the batched engine may resolve L1 hits inline.
+    #: A subclass that customizes the L1 front end must clear this.
+    batch_l1_inline = True
+    #: Same contract for the private-L2 probe prefix (hit counting, MRU
+    #: refresh, L1 insert).  Cleared by schemes that replace the private
+    #: L2 with different bookkeeping (shared_l2's shadow TLBs).
+    batch_l2_inline = True
+
     def __init__(self, config: SystemConfig, stats: StatRegistry,
                  hierarchy: CacheHierarchy, walkers: WalkerPool) -> None:
         self.config = config
@@ -158,6 +168,38 @@ class TranslationScheme:
         slot.touched = True
         return TranslationResult(tlbs.l1_latency + tlbs.l2_latency + penalty,
                                  True, penalty)
+
+    def resolve_packed(self, core: int, ctx: int, vaddr: int,
+                       page: ResolvedPage, key: int, l1_idx: int,
+                       l2_idx: int) -> Tuple[int, int]:
+        """Miss tail of :meth:`translate_packed` for the batched engine.
+
+        The caller (:mod:`repro.core.batch`) has already probed the L1
+        and private L2 TLBs through their batch views and tallied both
+        miss counters, so this picks up at the L2-miss bookkeeping with
+        the packed ``key`` and both set indices precomputed — no
+        re-hash, no re-probe.  Returns ``(total_cycles, penalty)``, the
+        :class:`TranslationResult` fields the replay loop consumes.
+        Only valid on schemes with ``batch_l2_inline`` set.
+        """
+        slot = self._l2_misses
+        slot.value += 1
+        slot.touched = True
+        penalty = self._resolve_miss(core, (ctx >> 1) & 0xFFFF,
+                                     (ctx >> 17) & 0xFFFF, vaddr, page)
+        tlbs = self.cores[core]
+        if key & 1:
+            entry = TlbEntry(page.host_frame >> _LARGE_SHIFT)
+            l1 = tlbs.l1_large
+        else:
+            entry = TlbEntry(page.host_frame >> _SMALL_SHIFT)
+            l1 = tlbs.l1_small
+        tlbs.l2.insert_at(l2_idx, key, entry)
+        l1.insert_at(l1_idx, key, entry)
+        slot = self._penalty_cycles
+        slot.value += penalty
+        slot.touched = True
+        return tlbs.l1_latency + tlbs.l2_latency + penalty, penalty
 
     def _translate_traced(self, core: int, ctx: int, vaddr: int,
                           page: ResolvedPage) -> TranslationResult:
@@ -360,8 +402,14 @@ class PomTlbScheme(TranslationScheme):
 
         ctx = (asid << 17) | (vm_id << 1)
         entry: Optional[TlbEntry] = None
-        for attempt, large in enumerate((predicted_large, not predicted_large)):
-            set_addr = pom.set_address(vaddr, vm_id, large)
+        # Attempt loop unrolled: first probe at the predicted size, then
+        # the other size.  Exactly one attempt matches ``page_large``, so
+        # its set address is ``true_addr`` from above — no re-hash.
+        attempt = 0
+        large = predicted_large
+        while True:
+            set_addr = (true_addr if large == page_large
+                        else pom.set_address(vaddr, vm_id, large))
             cycles += self._fetch_set(core, set_addr, bypass)
             if large:
                 key = ((vaddr >> _LARGE_SHIFT) << 33) | ctx | 1
@@ -372,8 +420,14 @@ class PomTlbScheme(TranslationScheme):
                 tr.emit(events.POM_PROBE, attempt=attempt, large=large,
                         hit=entry is not None)
             if entry is not None:
-                self._flow.resolved[attempt].add()
+                slot = self._flow.resolved[attempt]
+                slot.value += 1
+                slot.touched = True
                 break
+            if attempt:
+                break
+            attempt = 1
+            large = not predicted_large
         if entry is None:
             cycles += self._walk(core, vm_id, asid, vaddr)
             self._flow.resolved_by_walk.add()
@@ -468,6 +522,11 @@ class SharedL2Scheme(TranslationScheme):
     """
 
     name = "shared_l2"
+
+    #: The private-L2 probe is replaced by shadow + shared-array
+    #: bookkeeping, so batched replay must take the scalar path on every
+    #: L1 miss (L1 hits still share the base front end).
+    batch_l2_inline = False
 
     def __init__(self, config: SystemConfig, stats: StatRegistry,
                  hierarchy: CacheHierarchy, walkers: WalkerPool,
@@ -632,7 +691,8 @@ class TsbScheme(TranslationScheme):
         else:
             vpn = vaddr >> _SMALL_SHIFT
             gpa_addr = page.guest_frame | (vaddr & _SMALL_MASK)
-        gpa_vpn = tsb.gpa_vpn(gpa_addr)
+        gpa_vpn = gpa_addr >> _SMALL_SHIFT  # TSB.gpa_vpn inline
+        host_entry = tsb.host_entry_address(vm_id, gpa_vpn)
         # First dependent access: guest half (gVA -> gPA).
         guest_entry = tsb.guest_entry_address(vm_id, asid, vpn)
         guest_cycles = hierarchy.data_access(core, guest_entry)
@@ -644,8 +704,7 @@ class TsbScheme(TranslationScheme):
         resolved = False
         if gpa_frame is not None:
             # Second dependent access: host half (gPA -> hPA).
-            host_cycles = hierarchy.data_access(
-                core, tsb.host_entry_address(vm_id, gpa_vpn))
+            host_cycles = hierarchy.data_access(core, host_entry)
             cycles += host_cycles
             resolved = tsb.probe_host(vm_id, gpa_vpn) is not None
             if tr.active:
@@ -658,8 +717,7 @@ class TsbScheme(TranslationScheme):
             hpa_addr = page.host_frame + (gpa_addr - page.guest_frame)
             tsb.fill_host(vm_id, gpa_vpn, hpa_addr & ~_SMALL_MASK)
             cycles += hierarchy.data_access(core, guest_entry, is_write=True)
-            cycles += hierarchy.data_access(
-                core, tsb.host_entry_address(vm_id, gpa_vpn), is_write=True)
+            cycles += hierarchy.data_access(core, host_entry, is_write=True)
         return cycles
 
     def _shootdown_backend(self, vm_id: int, asid: int, vaddr: int) -> int:
@@ -736,11 +794,14 @@ class SkewedPomScheme(TranslationScheme):
         cache_entries = self._cache_entries
         uncached = not cache_entries or bypass
         entry: Optional[TlbEntry] = None
-        for attempt, large in enumerate((predicted_large, not predicted_large)):
-            if large:
-                key = ((vaddr >> _LARGE_SHIFT) << 33) | ctx | 1
-            else:
-                key = ((vaddr >> _SMALL_SHIFT) << 33) | ctx
+        # Attempt loop unrolled (cf. PomTlbScheme): first probe at the
+        # predicted size, then the other size.
+        attempt = 0
+        large = predicted_large
+        while True:
+            key = true_key if large == page_large else (
+                ((vaddr >> _LARGE_SHIFT) << 33) | ctx | 1 if large
+                else ((vaddr >> _SMALL_SHIFT) << 33) | ctx)
             # _fetch_line inlined: up to ``ways`` line fetches per probe
             # make this the hottest fetch loop of any scheme.
             for way, slot, line_addr in pom.candidates(key):
@@ -770,8 +831,14 @@ class SkewedPomScheme(TranslationScheme):
                 tr.emit(events.POM_PROBE, attempt=attempt, large=large,
                         hit=entry is not None)
             if entry is not None:
-                self._flow.resolved[attempt].add()
+                counter = flow.resolved[attempt]
+                counter.value += 1
+                counter.touched = True
                 break
+            if attempt:
+                break
+            attempt = 1
+            large = not predicted_large
         if entry is None:
             cycles += self._walk(core, vm_id, asid, vaddr)
             self._flow.resolved_by_walk.add()

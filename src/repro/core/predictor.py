@@ -39,6 +39,12 @@ class SizeBypassPredictor:
         self._size_threshold = 1 << (config.size_counter_bits - 1)
         self._size_counters = [0] * config.entries
         self._bypass_bits = [0] * config.entries
+        # Counter slots resolved once; this path runs on every L2 TLB
+        # miss of the POM schemes.
+        self._size_correct = stats.counter("size_correct")
+        self._size_wrong = stats.counter("size_wrong")
+        self._bypass_correct = stats.counter("bypass_correct")
+        self._bypass_wrong = stats.counter("bypass_wrong")
 
     def _index(self, vaddr: int) -> int:
         return (vaddr >> self._shift) & self._mask
@@ -47,7 +53,8 @@ class SizeBypassPredictor:
 
     def predict_size(self, vaddr: int) -> bool:
         """Predict the page size of ``vaddr`` (True = 2 MiB)."""
-        return self._size_counters[self._index(vaddr)] >= self._size_threshold
+        idx = (vaddr >> self._shift) & self._mask
+        return self._size_counters[idx] >= self._size_threshold
 
     def record_size(self, vaddr: int, actual_large: bool) -> bool:
         """Train on the actual size; returns whether the prediction was right.
@@ -56,13 +63,12 @@ class SizeBypassPredictor:
         entry on a wrong prediction); multi-bit counters saturate toward
         the observed size, adding hysteresis (paper footnote 2).
         """
-        idx = self._index(vaddr)
+        idx = (vaddr >> self._shift) & self._mask
         counter = self._size_counters[idx]
         correct = (counter >= self._size_threshold) == actual_large
-        if correct:
-            self.stats.inc("size_correct")
-        else:
-            self.stats.inc("size_wrong")
+        slot = self._size_correct if correct else self._size_wrong
+        slot.value += 1
+        slot.touched = True
         if self.trace.active:
             self.trace.emit(events.PREDICTOR_TRAIN, kind="size",
                             correct=correct)
@@ -77,7 +83,7 @@ class SizeBypassPredictor:
 
     def predict_bypass(self, vaddr: int) -> bool:
         """Predict whether to skip the data-cache probes."""
-        return bool(self._bypass_bits[self._index(vaddr)])
+        return bool(self._bypass_bits[(vaddr >> self._shift) & self._mask])
 
     def record_bypass(self, vaddr: int, line_was_cached: bool) -> bool:
         """Train on whether the POM-TLB line was actually in the caches.
@@ -85,14 +91,13 @@ class SizeBypassPredictor:
         Bypassing is the right call exactly when the line was *not*
         cached; returns whether the prediction made was right.
         """
-        idx = self._index(vaddr)
+        idx = (vaddr >> self._shift) & self._mask
         predicted = bool(self._bypass_bits[idx])
         should_bypass = not line_was_cached
         correct = predicted == should_bypass
-        if correct:
-            self.stats.inc("bypass_correct")
-        else:
-            self.stats.inc("bypass_wrong")
+        slot = self._bypass_correct if correct else self._bypass_wrong
+        slot.value += 1
+        slot.touched = True
         if self.trace.active:
             self.trace.emit(events.PREDICTOR_TRAIN, kind="bypass",
                             correct=correct)

@@ -34,6 +34,8 @@ from ..verify.verifier import NO_VERIFIER, Verifier
 from ..vmm.thp import ThpPolicy
 from ..vmm.vm import Host, NativeProcess, ResolvedPage
 from ..workloads.trace import CoreStream, interleave_batched
+from .batch import resolve_batch_flag
+from .batch import try_replay as _batch_try_replay
 from .mmu import TranslationScheme, make_scheme
 from .walkers import WalkerPool
 
@@ -163,6 +165,7 @@ class Machine:
                  obs: Optional[Observability] = None,
                  faults=None,
                  verify=None,
+                 batch: Optional[bool] = None,
                  **scheme_kwargs) -> None:
         self.config = config
         self.seed = seed
@@ -194,6 +197,15 @@ class Machine:
             self.verifier = Verifier()
         else:
             self.verifier = verify
+        #: Batched-replay knob (:mod:`repro.core.batch`).  ``None`` defers
+        #: to the ``POMTLB_BATCH`` env var (default on); it is an
+        #: execution field — it can never change results, only which
+        #: engine produces them.
+        self.batch_enabled = resolve_batch_flag(batch)
+        #: ``"batch"`` or ``"scalar"`` after the last :meth:`run`.
+        self.last_replay_mode: Optional[str] = None
+        #: Why the batch engine declined the last run (None if it ran).
+        self.batch_fallback_reason: Optional[str] = None
 
     # -- software contexts ----------------------------------------------------
 
@@ -272,7 +284,15 @@ class Machine:
             if stream.core >= self.config.num_cores:
                 raise ValueError(
                     f"stream core {stream.core} >= {self.config.num_cores} cores")
-        mmu_stats = self.stats.group("mmu")
+        if self.batch_enabled:
+            replay = _batch_try_replay(self, streams, max_references,
+                                       warmup_references)
+            if replay is not None:
+                self.last_replay_mode = "batch"
+                return self._finish_run(*replay)
+        else:
+            self.batch_fallback_reason = "batching disabled"
+        self.last_replay_mode = "scalar"
         obs = self.obs
         faults = self.faults
         tracer = obs.tracer
@@ -435,11 +455,25 @@ class Machine:
         if warming:
             raise ValueError(
                 f"warmup ({warmup_references}) consumed the whole trace")
+        return self._finish_run(references, translation_cycles, data_cycles,
+                                last_icount, warmup_boundary)
+
+    def _finish_run(self, references: int, translation_cycles: int,
+                    data_cycles: int, last_icount: Dict[int, int],
+                    warmup_boundary: Dict[int, int]) -> SimulationResult:
+        """Fold the replay-loop tallies into a :class:`SimulationResult`.
+
+        Shared by the scalar loop and the batched engine
+        (:func:`repro.core.batch.try_replay`), which produce the exact
+        same five tallies.
+        """
+        windows = self.obs.windows
         if windows is not None:
             windows.finish()
         instructions = sum(
             last_icount[core] - warmup_boundary.get(core, 0)
             for core in last_icount)
+        mmu_stats = self.stats.group("mmu")
         result = SimulationResult(
             scheme=self.scheme.name,
             references=references,
@@ -450,11 +484,11 @@ class Machine:
             data_cycles=data_cycles,
             page_walks=int(mmu_stats["page_walks"]),
             stats=self.stats,
-            histograms=histograms,
+            histograms=self.obs.histograms,
             windows=windows,
         )
-        if verifier_active:
-            verifier.finish(self, result)
+        if self.verifier.active:
+            self.verifier.finish(self, result)
         return result
 
     # -- OS-visible operations --------------------------------------------------

@@ -31,6 +31,11 @@ _SPREAD = 0x9E37
 class TranslationStorageBuffer:
     """Functional content + entry addressing of the two TSB halves."""
 
+    #: Batch-replay contract (:mod:`repro.core.batch`): resolving a miss
+    #: through this structure never touches another core's L1 TLB or L1
+    #: data cache (see :class:`repro.core.pom_tlb.PomTlb`).
+    L1_PRIVATE = True
+
     def __init__(self, config: TsbConfig, stats: StatGroup) -> None:
         self.config = config
         self.stats = stats
@@ -41,6 +46,11 @@ class TranslationStorageBuffer:
         # index -> (tag, payload); direct-mapped means one resident per index.
         self._guest: Dict[int, Tuple[Tuple[int, int, int, bool], int]] = {}
         self._host: Dict[int, Tuple[Tuple[int, int], int]] = {}
+        # Counter slots resolved once; probes run on every L2 TLB miss.
+        self._guest_hits = stats.counter("guest_hits")
+        self._guest_misses = stats.counter("guest_misses")
+        self._host_hits = stats.counter("host_hits")
+        self._host_misses = stats.counter("host_misses")
 
     # -- guest half: gVA -> gPA -------------------------------------------
 
@@ -54,12 +64,16 @@ class TranslationStorageBuffer:
     def probe_guest(self, vm_id: int, asid: int, vpn: int,
                     large: bool) -> Optional[int]:
         """Guest-half lookup; returns the gPA frame or None."""
-        index = self._guest_index(vm_id, asid, vpn)
+        index = (vpn ^ (vm_id * _SPREAD) ^ (asid * 0x85EB)) & self._mask
         resident = self._guest.get(index)
         if resident and resident[0] == (vm_id, asid, vpn, large):
-            self.stats.inc("guest_hits")
+            slot = self._guest_hits
+            slot.value += 1
+            slot.touched = True
             return resident[1]
-        self.stats.inc("guest_misses")
+        slot = self._guest_misses
+        slot.value += 1
+        slot.touched = True
         return None
 
     def fill_guest(self, vm_id: int, asid: int, vpn: int, large: bool,
@@ -80,12 +94,16 @@ class TranslationStorageBuffer:
 
     def probe_host(self, vm_id: int, gpa_vpn: int) -> Optional[int]:
         """Host-half lookup; returns the hPA frame or None."""
-        index = self._host_index(vm_id, gpa_vpn)
+        index = (gpa_vpn ^ (vm_id * _SPREAD)) & self._mask
         resident = self._host.get(index)
         if resident and resident[0] == (vm_id, gpa_vpn):
-            self.stats.inc("host_hits")
+            slot = self._host_hits
+            slot.value += 1
+            slot.touched = True
             return resident[1]
-        self.stats.inc("host_misses")
+        slot = self._host_misses
+        slot.value += 1
+        slot.touched = True
         return None
 
     def fill_host(self, vm_id: int, gpa_vpn: int, hpa_frame: int) -> None:

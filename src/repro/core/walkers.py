@@ -104,8 +104,11 @@ class WalkerPool:
             walker = self._walker_for(core, vm_id, asid)
         outcome = walker.walk(vaddr)
         if self.virtualized:
-            result = WalkResult(outcome.cycles, outcome.memory_refs,
-                                outcome.host_frame, outcome.large)
+            # NestedOutcome already carries (cycles, memory_refs,
+            # host_frame, large) in WalkResult's exact field layout, so
+            # hand it straight through instead of re-wrapping — one
+            # NamedTuple allocation per walk, on every scheme's miss path.
+            result = outcome
         else:
             leaf = outcome.leaf
             frame = leaf.frame & ~(addr.page_size(leaf.large) - 1)

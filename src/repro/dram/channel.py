@@ -58,13 +58,29 @@ class DramChannel:
         row = block >> self._bank_bits
         bank = self._banks[bank_idx]
         tracing = self.trace.active
+        # DramBank.access unrolled over the bank's slots (row-buffer
+        # outcome, cost, state update) — one call frame per DRAM access
+        # was measurable on the miss-bound schemes.
+        open_row = bank._open_row
+        if open_row == row:
+            slot = bank._row_hits
+            bank_cost = bank._hit_cost
+        else:
+            if open_row is None:
+                slot = bank._row_misses
+                bank_cost = bank._miss_cost
+            else:
+                slot = bank._row_conflicts
+                bank_cost = bank._conflict_cost
+            bank._open_row = row
+        slot.value += 1
+        slot.touched = True
         if tracing:
-            open_row = bank.open_row
             outcome = ("hit" if open_row == row
                        else "miss" if open_row is None else "conflict")
         burst = (self._line_burst if nbytes == addr.CACHE_LINE_SIZE
                  else self._burst_cycles(nbytes))
-        bus_cycles = self._controller_cycles + bank.access(row) + burst
+        bus_cycles = self._controller_cycles + bank_cost + burst
         slot = self._accesses
         slot.value += 1
         slot.touched = True

@@ -381,8 +381,14 @@ def _run_all_inner(params, names, requests, out, progress,
         out.write("\n\n")
         out.flush()
 
+    # Only simulation-relevant fields go into the header: execution
+    # knobs (workers, timeouts, verify, batch engine) can never change
+    # the report, so two campaigns that differ only in how they ran
+    # stay byte-identical.
+    sim_params = ", ".join(f"{name}={value!r}" for name, value
+                           in params.checkpoint_fields().items())
     out.write(f"# POM-TLB evaluation campaign\n"
-              f"# params: {params}\n\n")
+              f"# params: {sim_params}\n\n")
     emit(tables.table1(params.system_config()))
     emit(tables.table2())
     emit(figures.fig1_walk_steps())

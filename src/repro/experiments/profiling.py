@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from time import perf_counter
 
+from ..core.batch import HAS_NUMPY
 from ..core.system import Machine
 from ..obs.profiler import SelfTimeProfiler
+from ..workloads.packed import pack_stream
 from ..workloads.suite import get_profile
 from .report import Report
 from .runner import ExperimentParams
@@ -26,13 +28,20 @@ def profile_benchmark(params: ExperimentParams, benchmark: str,
     workload = profile.build(num_cores=params.num_cores,
                              refs_per_core=params.refs_per_core,
                              seed=params.seed, scale=params.scale)
+    streams = workload.streams
+    if params.batch and HAS_NUMPY:
+        # Same columnarisation the runner performs, so the profile shows
+        # the engine a campaign would actually use.
+        streams = [s if getattr(s, "columns", None) is not None
+                   else pack_stream(s) for s in streams]
     machine = Machine(params.system_config(), scheme=scheme,
                       thp_large_fraction=profile.thp_large_fraction,
-                      seed=params.seed, tlb_priority=params.tlb_priority)
+                      seed=params.seed, tlb_priority=params.tlb_priority,
+                      batch=params.batch)
     profiler = SelfTimeProfiler()
     profiler.install(machine)
     started = perf_counter()
-    machine.run(workload.streams,
+    machine.run(streams,
                 warmup_references=workload.warmup_by_core
                 or workload.warmup_references)
     wall = perf_counter() - started
@@ -49,6 +58,15 @@ def profile_benchmark(params: ExperimentParams, benchmark: str,
     report.add_note(f"run wall-clock {wall:.2f}s; "
                     f"{accounted:.2f}s attributed to wrapped components, "
                     "the rest is trace replay and interpreter overhead")
+    if machine.last_replay_mode == "batch":
+        report.add_note("replay engine: batch (vectorized columnar); "
+                        "inlined hit paths bypass the wrapped component "
+                        "boundaries, so self-times cover the residual "
+                        "scalar calls only")
+    else:
+        report.add_note("replay engine: scalar"
+                        + (f" ({machine.batch_fallback_reason})"
+                           if machine.batch_fallback_reason else ""))
     report.add_note("self_s excludes time spent in other wrapped components "
                     "called from this one")
     return report

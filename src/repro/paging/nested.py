@@ -107,10 +107,26 @@ class NestedWalker:
         else:
             for step in steps:
                 cycles += pte_access(step.pte_paddr)
+        # _PrefixCache.fill inlined per level (~3 refills per host walk;
+        # warm, the upper levels are already resident-and-newest and the
+        # whole body is the get + two compares of the first branch).
         by_level = host_psc.by_level
         for level, base in host_table.table_bases(gpa,
                                                   2 if leaf.large else 1):
-            by_level[level].fill(gpa, base)
+            pc = by_level[level]
+            cap = pc.capacity
+            if not cap:
+                continue
+            entries = pc._entries
+            pkey = gpa >> pc.shift
+            resident = entries.get(pkey)
+            if resident is not None:
+                if resident == base and next(reversed(entries)) == pkey:
+                    continue
+                del entries[pkey]
+            elif len(entries) >= cap:
+                del entries[next(iter(entries))]
+            entries[pkey] = base
         return leaf.translate(gpa), cycles, refs
 
     # -- full 2-D walk ------------------------------------------------------
@@ -188,4 +204,18 @@ class NestedWalker:
                     continue
                 value = memo[gpa_base] = (gpa_base,
                                           hpa_leaf.translate(gpa_base))
-            by_level[level].fill(gva, value)
+            # _PrefixCache.fill inlined (cf. host_translate).
+            pc = by_level[level]
+            cap = pc.capacity
+            if not cap:
+                continue
+            entries = pc._entries
+            pkey = gva >> pc.shift
+            resident = entries.get(pkey)
+            if resident is not None:
+                if resident == value and next(reversed(entries)) == pkey:
+                    continue
+                del entries[pkey]
+            elif len(entries) >= cap:
+                del entries[next(iter(entries))]
+            entries[pkey] = value

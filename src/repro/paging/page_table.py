@@ -38,6 +38,8 @@ _LEVEL_SHIFT = tuple(
     for level in range(addr.RADIX_LEVELS + 1))
 _INDEX_MASK = addr.ENTRIES_PER_TABLE - 1
 _ROOT_LEVEL = addr.RADIX_LEVELS
+_SHIFT_SMALL = addr.SMALL_PAGE_SHIFT
+_SHIFT_LARGE = addr.LARGE_PAGE_SHIFT
 
 #: signature of a frame allocator: returns the base address of a fresh
 #: 4 KiB frame in the table's output address space.
@@ -90,6 +92,19 @@ class RadixPageTable:
         # leaves; map_page reuses existing nodes), so a complete
         # (level, base) list for a VA prefix can never change.
         self._bases_memo: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        # Memoized successful walk_from() results, keyed by
+        # (page-granular VA prefix, start_level, table_base).  Two tiers
+        # so every offset inside a 2 MiB mapping shares one entry.  A
+        # successful walk can only go stale when its leaf is replaced or
+        # removed — map_page over an existing leaf and unmap_page clear
+        # both memos; new mappings need no action (an address that now
+        # resolves previously faulted, and faults are never memoized).
+        # table_base lives in the key, so the stale-base AddressError
+        # path still takes the uncached walk.
+        self._walk_memo_small: Dict[Tuple[int, int, int],
+                                    Tuple[List[WalkStep], LeafMapping]] = {}
+        self._walk_memo_large: Dict[Tuple[int, int, int],
+                                    Tuple[List[WalkStep], LeafMapping]] = {}
 
     @property
     def root_base(self) -> int:
@@ -129,6 +144,10 @@ class RadixPageTable:
                 self._mapped_large += 1
             else:
                 self._mapped_small += 1
+        elif self._walk_memo_small or self._walk_memo_large:
+            # Re-mapping replaces a leaf some memoized walk may end at.
+            self._walk_memo_small.clear()
+            self._walk_memo_large.clear()
         node.leaves[index] = LeafMapping(frame=frame, large=large)
 
     def unmap_page(self, vaddr: int, large: bool = False) -> bool:
@@ -146,6 +165,8 @@ class RadixPageTable:
                 self._mapped_large -= 1
             else:
                 self._mapped_small -= 1
+            self._walk_memo_small.clear()
+            self._walk_memo_large.clear()
             return True
         return False
 
@@ -165,6 +186,13 @@ class RadixPageTable:
         ``table_base`` must be the base of the level-``start_level`` table
         covering ``vaddr`` — i.e. what the PSC cached.
         """
+        cached = self._walk_memo_large.get(
+            (vaddr >> _SHIFT_LARGE, start_level, table_base))
+        if cached is None:
+            cached = self._walk_memo_small.get(
+                (vaddr >> _SHIFT_SMALL, start_level, table_base))
+        if cached is not None:
+            return cached
         name = self.name
         node = self._root
         for level in range(_ROOT_LEVEL, start_level, -1):
@@ -185,7 +213,14 @@ class RadixPageTable:
                 if level != (2 if leaf.large else 1):
                     raise AddressError(
                         f"{name}: leaf at wrong level {level}")
-                return steps, leaf
+                result = (steps, leaf)
+                if leaf.large:
+                    self._walk_memo_large[
+                        (vaddr >> _SHIFT_LARGE, start_level, table_base)] = result
+                else:
+                    self._walk_memo_small[
+                        (vaddr >> _SHIFT_SMALL, start_level, table_base)] = result
+                return result
             node = node.children.get(index)
             if node is None:
                 raise TranslationFault(vaddr, space=name)

@@ -68,7 +68,14 @@ class _PrefixCache:
             return
         entries = self._entries
         key = vaddr >> self.shift
-        if key in entries:
+        resident = entries.get(key)
+        if resident is not None:
+            # Already resident with the same base AND already the
+            # most-recent entry: del + re-insert would rebuild the exact
+            # same dict.  PML4/PDP refills hit this on nearly every walk
+            # once the working set's upper levels are cached.
+            if resident == table_base and next(reversed(entries)) == key:
+                return
             del entries[key]  # re-insert below refreshes recency
         elif len(entries) >= self.capacity:
             del entries[next(iter(entries))]  # oldest

@@ -109,7 +109,9 @@ class TestLptDispatch:
         workers_mod.execute_runs(requests, workers=2,
                                  cost=cost_function(rates=dict(
                                      DEFAULT_REFS_PER_SEC)))
-        assert dispatched == ["pom_skewed", "pom", "baseline"]
+        # Longest first under DEFAULT_REFS_PER_SEC: pom is the slowest
+        # scheme (lowest refs/sec), baseline the fastest.
+        assert dispatched == ["pom", "pom_skewed", "baseline"]
 
     def test_serial_order_is_untouched(self, monkeypatch):
         from repro.resilience import workers as workers_mod
