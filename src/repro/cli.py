@@ -16,6 +16,8 @@ Examples::
     pomtlb campaign --verify --output results.txt
     pomtlb campaign --workers 4 --status-out status.ndjson
     pomtlb top status.ndjson --follow
+    pomtlb lifecycle churn --benchmarks gups,mcf --generations 10 --verify
+    pomtlb lifecycle shootdown --rates 0,1,5,20 --refs 2000
 """
 
 from __future__ import annotations
@@ -430,6 +432,161 @@ def _audit_main(argv: List[str]) -> int:
     return 0
 
 
+def _lifecycle_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pomtlb lifecycle",
+        description="VM lifecycle scenarios: consolidation churn "
+                    "(boot/teardown storms with frame reclamation), "
+                    "cold-migration bursts, and shootdown-interference "
+                    "sweeps, per scheme.")
+    parser.add_argument("scenario", choices=("churn", "migrate",
+                                             "shootdown", "all"),
+                        help="which scenario to run ('all' runs the "
+                             "three in sequence)")
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated VM mix for churn/migrate "
+                             "(default: the study's mix); single name "
+                             "for shootdown")
+    parser.add_argument("--generations", type=int, default=5,
+                        help="churn: boot/teardown generations per VM "
+                             "slot (default 5)")
+    parser.add_argument("--bursts", type=int, default=4,
+                        help="migrate: cold-migration bursts (default 4)")
+    parser.add_argument("--rates", default="",
+                        help="shootdown: comma-separated storm rates in "
+                             "shootdowns per 1000 refs (default "
+                             "0,1,5,20)")
+    parser.add_argument("--schemes", default="all",
+                        help="comma-separated schemes or 'all' "
+                             f"(default; all = {','.join(_SCHEMES)})")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="core count for shootdown (churn/migrate "
+                             "use one core per VM)")
+    parser.add_argument("--refs", type=int, default=None,
+                        help="measured references per core")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="footprint scale factor")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload seed")
+    parser.add_argument("--verify", action="store_true",
+                        help="arm the consistency-audit invariants "
+                             "during every run (results are "
+                             "bit-identical; violations exit 1)")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="force the scalar engine even where no "
+                             "events are scheduled")
+    parser.add_argument("--json", action="store_true",
+                        help="emit reports as JSON")
+    parser.add_argument("--output", default="", metavar="PATH",
+                        help="also write the reports to PATH (atomic)")
+    parser.add_argument("--artifacts", default="lifecycle-artifacts",
+                        metavar="DIR",
+                        help="directory for violation reports when "
+                             "--verify trips (default: "
+                             "lifecycle-artifacts)")
+    return parser
+
+
+def _lifecycle_main(argv: List[str]) -> int:
+    from .experiments import lifecycle
+
+    args = _lifecycle_parser().parse_args(argv)
+    benchmarks = [b for b in args.benchmarks.split(",") if b]
+    for name in benchmarks:
+        if name not in BENCHMARKS:
+            print(f"unknown benchmark {name!r}; see 'pomtlb list'",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    if args.schemes == "all":
+        schemes = lifecycle.ALL_SCHEMES
+    else:
+        schemes = tuple(s for s in args.schemes.split(",") if s)
+        for name in schemes:
+            if name not in _SCHEMES:
+                print(f"unknown scheme {name!r} "
+                      f"(known: {', '.join(_SCHEMES)})", file=sys.stderr)
+                return EXIT_USAGE
+    if not schemes:
+        print("--schemes selected nothing", file=sys.stderr)
+        return EXIT_USAGE
+    if args.generations < 1:
+        print("--generations must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if args.bursts < 0:
+        print("--bursts must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        rates = tuple(float(r) for r in args.rates.split(",") if r) or \
+            lifecycle.DEFAULT_RATES
+    except ValueError:
+        print(f"bad --rates value {args.rates!r} (need numbers)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if any(rate < 0 for rate in rates):
+        print("--rates must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+
+    overrides = {"verify": args.verify}
+    if args.no_batch:
+        overrides["batch"] = False
+    if args.cores is not None:
+        overrides["num_cores"] = args.cores
+    if args.refs is not None:
+        overrides["refs_per_core"] = args.refs
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        params = ExperimentParams.from_env(**overrides)
+    except ConfigError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    reports = []
+    try:
+        if args.scenario in ("churn", "all"):
+            reports.append(lifecycle.churn_study(
+                params,
+                benchmarks=benchmarks or lifecycle.DEFAULT_CHURN_MIX,
+                generations=args.generations, schemes=schemes))
+        if args.scenario in ("migrate", "all"):
+            reports.append(lifecycle.migration_study(
+                params,
+                benchmarks=benchmarks or lifecycle.DEFAULT_MIGRATION_MIX,
+                bursts=args.bursts, schemes=schemes))
+        if args.scenario in ("shootdown", "all"):
+            if len(benchmarks) > 1:
+                print("shootdown sweeps one benchmark; pass a single "
+                      "--benchmarks name", file=sys.stderr)
+                return EXIT_USAGE
+            reports.append(lifecycle.shootdown_sweep(
+                params, benchmark=benchmarks[0] if benchmarks else "gups",
+                rates=rates, schemes=schemes))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except VerificationError as exc:
+        print(f"lifecycle verification FAILED: {exc}", file=sys.stderr)
+        if args.artifacts:
+            os.makedirs(args.artifacts, exist_ok=True)
+            path = os.path.join(args.artifacts, "lifecycle_violation.txt")
+            _atomic_write(path, f"scenario: {args.scenario}\n"
+                                f"params: {params}\n"
+                                f"violation: {exc}\n")
+            print(f"violation report written to {path}", file=sys.stderr)
+        return EXIT_DEGRADED
+
+    if args.json:
+        text = "\n".join(report.to_json() for report in reports) + "\n"
+    else:
+        text = "\n".join(report.render() for report in reports) + "\n"
+    sys.stdout.write(text)
+    if args.output:
+        _atomic_write(args.output, text)
+    return 0
+
+
 def _top_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pomtlb top",
@@ -499,12 +656,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _audit_main(argv[1:])
     if argv and argv[0] == "top":
         return _top_main(argv[1:])
+    if argv and argv[0] == "lifecycle":
+        return _lifecycle_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         print("static:  ", ", ".join(sorted(_STATIC)))
         print("dynamic: ", ", ".join(sorted(_DYNAMIC)),
               "+ campaign, details, profile")
-        print("tools:    trace pack, trace unpack, audit, top")
+        print("tools:    trace pack, trace unpack, audit, top, "
+              "lifecycle {churn,migrate,shootdown,all}")
         print("benchmarks:", ", ".join(BENCHMARKS))
         return 0
 

@@ -259,7 +259,7 @@ class TranslationScheme:
     SHOOTDOWN_PER_CORE_CYCLES = 4
 
     def shootdown(self, vm_id: int, asid: int, vaddr: int,
-                  large: bool) -> int:
+                  large: "Optional[bool]" = None) -> int:
         """Invalidate one translation everywhere (mostly-inclusive model).
 
         Returns the modelled cost in cycles: the IPI/lock round-trip,
@@ -271,7 +271,9 @@ class TranslationScheme:
         and every backend already drops both — the front end must agree
         or a dead translation survives privately (mostly-inclusive
         consistency would be silently violated).  ``large`` only names
-        the page's current size for cost purposes.
+        the page's current size for cost purposes; ``None`` (page
+        already unmapped, size unknowable) is equivalent — the
+        invalidation never narrows to one size.
         """
         del large  # the invalidation is size-agnostic; see docstring
         cycles = (self.SHOOTDOWN_BASE_CYCLES
@@ -729,6 +731,12 @@ class TsbScheme(TranslationScheme):
                 self.hierarchy.invalidate_line(entry_addr)
                 cycles += self.hierarchy.data_access(0, entry_addr,
                                                      is_write=True)
+                # The modelled write-back of the invalid entry allocates
+                # the line again; drop it so no cache retains the dead
+                # entry's line (the invalidate_vm contract — stale-line
+                # invariant).  The cost above is unchanged: the write
+                # always went to DRAM.
+                self.hierarchy.invalidate_line(entry_addr)
         return cycles
 
     def _invalidate_vm_backend(self, vm_id: int) -> int:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, Iterable, List, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..cache.hierarchy import CacheHierarchy
 from ..common import addr
@@ -32,7 +32,7 @@ from ..obs.windows import WindowedMetrics
 from ..tlb.entry import pack_context
 from ..verify.verifier import NO_VERIFIER, Verifier
 from ..vmm.thp import ThpPolicy
-from ..vmm.vm import Host, NativeProcess, ResolvedPage
+from ..vmm.vm import FreedFrames, Host, NativeProcess, ResolvedPage
 from ..workloads.trace import CoreStream, interleave_batched
 from .batch import resolve_batch_flag
 from .batch import try_replay as _batch_try_replay
@@ -261,8 +261,8 @@ class Machine:
 
     def run(self, streams: Iterable[CoreStream],
             max_references: Optional[int] = None,
-            warmup_references: Union[int, Mapping[int, int]] = 0
-            ) -> SimulationResult:
+            warmup_references: Union[int, Mapping[int, int]] = 0,
+            events: Optional[Sequence] = None) -> SimulationResult:
         """Replay the streams to completion (or ``max_references``).
 
         ``warmup_references`` replays that much of the trace first, then
@@ -278,18 +278,33 @@ class Machine:
         their instruction clocks at different rates (mixed-benchmark
         consolidation), where a global count would cut some cores off
         mid-prologue.
+
+        ``events`` schedules OS-level operations mid-run: each entry has
+        a ``position`` (the 0-based index in the global interleaved
+        merge, warmup included, *before* which it fires) and an
+        ``apply(machine)`` method — see
+        :class:`~repro.workloads.lifecycle.LifecycleEvent`.  Events at or
+        past the end of the trace fire after the last reference; events
+        past a ``max_references`` stop never fire.  Scheduled events
+        force the scalar engine (recorded in ``batch_fallback_reason``),
+        so results are engine-independent by construction.
         """
         streams = list(streams)
         for stream in streams:
             if stream.core >= self.config.num_cores:
                 raise ValueError(
                     f"stream core {stream.core} >= {self.config.num_cores} cores")
+        pending = sorted(events, key=lambda e: e.position) if events else []
         if self.batch_enabled:
-            replay = _batch_try_replay(self, streams, max_references,
-                                       warmup_references)
-            if replay is not None:
-                self.last_replay_mode = "batch"
-                return self._finish_run(*replay)
+            if pending:
+                self.batch_fallback_reason = ("mid-run lifecycle events "
+                                              "scheduled")
+            else:
+                replay = _batch_try_replay(self, streams, max_references,
+                                           warmup_references)
+                if replay is not None:
+                    self.last_replay_mode = "batch"
+                    return self._finish_run(*replay)
         else:
             self.batch_fallback_reason = "batching disabled"
         self.last_replay_mode = "scalar"
@@ -327,7 +342,10 @@ class Machine:
         stop_at = max_references if max_references is not None else float("inf")
         infos: Dict[int, tuple] = {}
         stopped = False
-        for stream, lo, hi in interleave_batched(streams):
+        chunks = interleave_batched(streams)
+        if pending:
+            chunks = self._chunks_with_events(chunks, pending, infos)
+        for stream, lo, hi in chunks:
             info = infos.get(id(stream))
             if info is None:
                 info = infos[id(stream)] = self._stream_info(stream)
@@ -458,6 +476,38 @@ class Machine:
         return self._finish_run(references, translation_cycles, data_cycles,
                                 last_icount, warmup_boundary)
 
+    def _chunks_with_events(self, chunks, pending: List, infos: Dict):
+        """Split interleaved chunks at event positions and fire them.
+
+        Yields the same ``(stream, lo, hi)`` chunks as
+        :func:`~repro.workloads.trace.interleave_batched`, cut so every
+        scheduled event fires exactly *between* two references of the
+        global merge.  After an event fires the hoisted per-stream info
+        cache is cleared: a destroyed VM's page dicts and packed-context
+        are dead, and the next chunk must re-resolve them (recreating
+        the VM on demand for migration-style scenarios).
+        """
+        queue = list(pending)
+        queue.reverse()  # pop() from the end yields earliest-first
+        position = 0
+        for stream, lo, hi in chunks:
+            while queue and queue[-1].position < position + (hi - lo):
+                cut = lo + (queue[-1].position - position)
+                if cut > lo:
+                    yield stream, lo, cut
+                position += cut - lo
+                lo = cut
+                while queue and queue[-1].position == position:
+                    queue.pop().apply(self)
+                infos.clear()
+            if hi > lo:
+                yield stream, lo, hi
+                position += hi - lo
+        # Events scheduled at or past the end of the trace fire after
+        # the last reference (e.g. the final generation's teardowns).
+        while queue:
+            queue.pop().apply(self)
+
     def _finish_run(self, references: int, translation_cycles: int,
                     data_cycles: int, last_icount: Dict[int, int],
                     warmup_boundary: Dict[int, int]) -> SimulationResult:
@@ -497,13 +547,22 @@ class Machine:
         """TLB shootdown of one page across all structures.
 
         Returns the modelled shootdown cost in cycles.
+
+        The invalidation is size-agnostic end to end: when the page is
+        already unmapped (the common real-world ordering — the OS
+        removes the mapping, then shoots down) the size is unknowable,
+        so ``large=None`` is passed through and the scheme drops *both*
+        page sizes everywhere, never guessing ``large=False``.  Looking
+        the page up must not create contexts as a side effect, so only
+        existing VMs/processes are consulted.
         """
         if self.config.virtualized:
             vm = self.host.vms.get(vm_id)
             page = vm.resolve(asid, vaddr) if vm is not None else None
         else:
-            page = self._native_process(asid).resolve(vaddr)
-        large = page.large if page is not None else False
+            proc = self._native_processes.get(asid)
+            page = proc.resolve(vaddr) if proc is not None else None
+        large = page.large if page is not None else None
         verifier = self.verifier
         if not verifier.active:
             return self.scheme.shootdown(vm_id, asid, vaddr, large)
@@ -527,3 +586,28 @@ class Machine:
         dropped = self.scheme.invalidate_vm(vm_id)
         verifier.check_invalidate_vm(self, vm_id, token)
         return dropped
+
+    def destroy_vm(self, vm_id: int) -> FreedFrames:
+        """Full VM teardown: invalidate everywhere, then reclaim frames.
+
+        Orders the hardware-visible half first — :meth:`invalidate_vm`
+        drops the VM's translations from every TLB, PSC, backend and
+        cached backing line — then purges the VM's walkers (they hold
+        bound references to the dying tables) and releases every host
+        frame the VM pinned back to the allocator's free lists.  A later
+        ``touch`` of the same vm_id boots a fresh VM that reuses the
+        freed frames (cold-migration arrival / consolidation churn).
+
+        Returns the :class:`~repro.vmm.vm.FreedFrames` tally.
+        """
+        if not self.config.virtualized:
+            raise ValueError("destroy_vm requires virtualized mode")
+        verifier = self.verifier
+        token = (verifier.token_destroy_vm(self, vm_id)
+                 if verifier.active else None)
+        self.invalidate_vm(vm_id)
+        self.walkers.discard_vm(vm_id)
+        freed = self.host.destroy_vm(vm_id)
+        if verifier.active:
+            verifier.check_destroy_vm(self, vm_id, token)
+        return freed

@@ -140,3 +140,14 @@ class WalkerPool:
                 walker.host_psc.flush()
             else:
                 walker.psc.flush()
+
+    def discard_vm(self, vm_id: int) -> None:
+        """Drop the walker objects of one VM (after ``destroy_vm``).
+
+        Walkers hold bound references to the VM's guest/host tables;
+        once the VM is destroyed those tables are dead, and a recreated
+        VM with the same id must get fresh walkers bound to its new
+        tables, not stale ones resolving into freed frames.
+        """
+        for key in [key for key in self._walkers if key[1] == vm_id]:
+            del self._walkers[key]

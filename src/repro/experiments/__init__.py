@@ -1,7 +1,7 @@
 """Experiment drivers regenerating every paper table and figure."""
 
 from . import (ablations, campaign, consolidation, contention, details,
-               figures, tables, tradeoff)
+               figures, lifecycle, tables, tradeoff)
 from .report import Report
 from .runner import BenchmarkRun, ExperimentParams, SuiteRunner
 
@@ -16,6 +16,7 @@ __all__ = [
     "contention",
     "details",
     "figures",
+    "lifecycle",
     "tables",
     "tradeoff",
 ]

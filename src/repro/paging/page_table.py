@@ -302,3 +302,18 @@ class RadixPageTable:
             count += 1
             stack.extend(node.children.values())
         return count
+
+    def table_frames(self) -> List[int]:
+        """Base addresses of every table frame (root included).
+
+        Table nodes are never deleted or relocated, so this is exactly
+        the set of frames the allocator handed out — what a teardown
+        must return to the allocator's free list.
+        """
+        frames: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            frames.append(node.base)
+            stack.extend(node.children.values())
+        return frames

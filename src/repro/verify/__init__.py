@@ -8,7 +8,8 @@ parameter, or the ``pomtlb audit`` CLI.
 
 from .invariants import (DEFAULT_INVARIANTS, INVARIANT_REGISTRY,
                          ConservationChecker, InclusionChecker,
-                         InvariantChecker, LruChecker, SetAddressChecker,
+                         InvariantChecker, LruChecker,
+                         MemoryConservationChecker, SetAddressChecker,
                          StaleLineChecker, default_checkers)
 from .verifier import NO_VERIFIER, NullVerifier, Verifier
 
@@ -39,6 +40,7 @@ __all__ = [
     "SetAddressChecker",
     "LruChecker",
     "ConservationChecker",
+    "MemoryConservationChecker",
     "default_checkers",
     "NO_VERIFIER",
     "NullVerifier",

@@ -24,6 +24,11 @@ uphold regardless of scheme or workload:
   down the hierarchy without loss (L1 probes == references, next-level
   probes == L1 misses) and the MMU's miss/penalty counters equal the
   verifier's independent per-translation accumulation.
+* :class:`MemoryConservationChecker` — allocation conservation: every
+  live host-physical byte is owned by exactly one VM or native process,
+  the allocator's free lists balance against its bump pointers, and a
+  destroyed VM's frames actually came back (teardown storms must not
+  leak host memory).
 
 A violated invariant raises
 :class:`~repro.common.errors.VerificationError` naming the checker.
@@ -34,7 +39,7 @@ from __future__ import annotations
 from typing import Iterable, List, Tuple
 
 from ..common import addr
-from ..common.errors import VerificationError
+from ..common.errors import AddressError, VerificationError
 from ..tlb.entry import pack_key
 
 #: Line kinds for :class:`StaleLineChecker` tokens.
@@ -70,6 +75,12 @@ class InvariantChecker:
         return None
 
     def check_invalidate_vm(self, machine, vm_id: int, token) -> None:
+        pass
+
+    def token_destroy_vm(self, machine, vm_id: int):
+        return None
+
+    def check_destroy_vm(self, machine, vm_id: int, token) -> None:
         pass
 
     # end-of-run structural checks
@@ -404,9 +415,55 @@ class ConservationChecker(InvariantChecker):
                       f"counted {self.misses}")
 
 
+class MemoryConservationChecker(InvariantChecker):
+    """Every live host-physical byte has exactly one owner."""
+
+    name = "memory-conservation"
+
+    @staticmethod
+    def _owned_bytes(machine) -> int:
+        """Bytes the surviving VMs and native processes pin together."""
+        owned = sum(vm.live_bytes() for vm in machine.host.vms.values())
+        owned += sum(proc.live_bytes()
+                     for proc in machine._native_processes.values())
+        return owned
+
+    def _check_balance(self, machine, event: str) -> None:
+        memory = machine.host.memory
+        try:
+            counters = memory.audit()
+        except AddressError as exc:
+            self.fail(f"allocator audit failed after {event}: {exc}")
+        owned = self._owned_bytes(machine)
+        if counters["bytes_allocated"] != owned:
+            self.fail(
+                f"after {event} the allocator reports "
+                f"{counters['bytes_allocated']} live bytes but the VMs "
+                f"and native processes own {owned} — "
+                f"{'leaked' if counters['bytes_allocated'] > owned else 'double-freed'} "
+                f"{abs(counters['bytes_allocated'] - owned)} bytes")
+
+    def token_destroy_vm(self, machine, vm_id):
+        return machine.host.memory.bytes_allocated
+
+    def check_destroy_vm(self, machine, vm_id, token) -> None:
+        if vm_id in machine.host.vms:
+            self.fail(f"vm {vm_id} still registered after destroy_vm")
+        before = token or 0
+        after = machine.host.memory.bytes_allocated
+        if after > before:
+            self.fail(f"destroy_vm of vm {vm_id} grew bytes_allocated "
+                      f"({before} -> {after})")
+        self._check_balance(machine, f"destroy_vm({vm_id})")
+
+    def check_final(self, machine, result) -> None:
+        self._check_balance(machine, "the run")
+
+
 #: The checkers every audit enables unless a subset is requested.
 DEFAULT_INVARIANTS = (InclusionChecker, StaleLineChecker, SetAddressChecker,
-                      LruChecker, ConservationChecker)
+                      LruChecker, ConservationChecker,
+                      MemoryConservationChecker)
 
 #: name -> checker class, for CLI selection.
 INVARIANT_REGISTRY = {cls.name: cls for cls in DEFAULT_INVARIANTS}

@@ -50,6 +50,12 @@ class NullVerifier:
     def check_invalidate_vm(self, machine, vm_id: int, token) -> None:
         pass
 
+    def token_destroy_vm(self, machine, vm_id: int):
+        return None
+
+    def check_destroy_vm(self, machine, vm_id: int, token) -> None:
+        pass
+
 
 #: Shared default: verification off.
 NO_VERIFIER = NullVerifier()
@@ -113,6 +119,16 @@ class Verifier(NullVerifier):
         tokens = token or [None] * len(self.checkers)
         for checker, sub in zip(self.checkers, tokens):
             self._run(machine, checker.check_invalidate_vm,
+                      machine, vm_id, sub)
+
+    def token_destroy_vm(self, machine, vm_id):
+        return [checker.token_destroy_vm(machine, vm_id)
+                for checker in self.checkers]
+
+    def check_destroy_vm(self, machine, vm_id, token):
+        tokens = token or [None] * len(self.checkers)
+        for checker, sub in zip(self.checkers, tokens):
+            self._run(machine, checker.check_destroy_vm,
                       machine, vm_id, sub)
 
     # -- end of run --------------------------------------------------------

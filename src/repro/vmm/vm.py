@@ -17,7 +17,7 @@ for the paper's native-vs-virtualized characterisation (Figures 2/3).
 
 from __future__ import annotations
 
-from typing import Dict, NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 from ..common import addr
 from ..paging.page_table import RadixPageTable
@@ -69,6 +69,10 @@ class VirtualMachine:
         self.host_table = RadixPageTable(host_memory.alloc_small,
                                          name=f"vm{vm_id}.host")
         self.processes: Dict[int, GuestProcess] = {}
+        # hPA frames backing guest page-table frames: the gPA side dies
+        # with the VM object, but these must be returned to the host
+        # allocator on teardown.
+        self._guest_table_hpa: List[int] = []
 
     # -- process management -----------------------------------------------
 
@@ -87,7 +91,36 @@ class VirtualMachine:
         gpa = self.guest_memory.alloc_frame(large=False)
         hpa = self.host_memory.alloc_frame(large=False)
         self.host_table.map_page(gpa, hpa, large=False)
+        self._guest_table_hpa.append(hpa)
         return gpa
+
+    # -- teardown accounting ------------------------------------------------
+
+    def host_frames(self) -> List[tuple]:
+        """Every ``(frame, large)`` this VM holds in host-physical memory.
+
+        Covers the guests' data pages, the hPA frames backing guest
+        page-table frames, and the host (EPT) table's own frames — the
+        complete set :meth:`Host.destroy_vm` must reclaim.
+        """
+        frames = [(hpa, False) for hpa in self._guest_table_hpa]
+        frames.extend((base, False) for base in self.host_table.table_frames())
+        for proc in self.processes.values():
+            frames.extend((page.host_frame, False)
+                          for page in proc.small_pages.values())
+            frames.extend((page.host_frame, True)
+                          for page in proc.large_pages.values())
+        return frames
+
+    def live_bytes(self) -> int:
+        """Host-physical bytes this VM currently pins (conservation law)."""
+        small = (len(self._guest_table_hpa)
+                 + self.host_table.table_count())
+        large = 0
+        for proc in self.processes.values():
+            small += len(proc.small_pages)
+            large += len(proc.large_pages)
+        return (small * addr.SMALL_PAGE_SIZE + large * addr.LARGE_PAGE_SIZE)
 
     # -- demand paging ---------------------------------------------------
 
@@ -117,7 +150,13 @@ class VirtualMachine:
         return proc.resolve(vaddr)
 
     def unmap(self, asid: int, vaddr: int) -> Optional[ResolvedPage]:
-        """Remove a mapping (the shootdown trigger).  Returns what was mapped."""
+        """Remove a mapping (the shootdown trigger).  Returns what was mapped.
+
+        Both table levels drop their leaves and both frames return to
+        their allocators' free lists — leaving either in place would
+        leak the frame (breaking allocation conservation) or let a
+        nested walk keep resolving gPA to a freed host frame.
+        """
         proc = self.processes.get(asid)
         if proc is None:
             return None
@@ -125,10 +164,13 @@ class VirtualMachine:
         if page is None:
             return None
         proc.guest_table.unmap_page(vaddr, large=page.large)
+        self.host_table.unmap_page(page.guest_frame, large=page.large)
         if page.large:
             del proc.large_pages[vaddr >> addr.LARGE_PAGE_SHIFT]
         else:
             del proc.small_pages[vaddr >> addr.SMALL_PAGE_SHIFT]
+        self.guest_memory.free_frame(page.guest_frame, large=page.large)
+        self.host_memory.free_frame(page.host_frame, large=page.large)
         return page
 
 
@@ -166,6 +208,24 @@ class NativeProcess:
             return page
         return self.small_pages.get(vaddr >> addr.SMALL_PAGE_SHIFT)
 
+    def live_bytes(self) -> int:
+        """Host-physical bytes this process pins (conservation law)."""
+        return (self.page_table.table_count() * addr.SMALL_PAGE_SIZE
+                + len(self.small_pages) * addr.SMALL_PAGE_SIZE
+                + len(self.large_pages) * addr.LARGE_PAGE_SIZE)
+
+
+class FreedFrames(NamedTuple):
+    """What one :meth:`Host.destroy_vm` returned to the allocator."""
+
+    small: int
+    large: int
+
+    @property
+    def bytes(self) -> int:
+        return (self.small * addr.SMALL_PAGE_SIZE
+                + self.large * addr.LARGE_PAGE_SIZE)
+
 
 class Host:
     """Top level: host physical memory plus the virtual machines on it."""
@@ -180,3 +240,25 @@ class Host:
         vm = VirtualMachine(vm_id, self.memory, thp)
         self.vms[vm_id] = vm
         return vm
+
+    def destroy_vm(self, vm_id: int) -> FreedFrames:
+        """Tear one VM down, returning every host frame it pinned.
+
+        Releases the guests' data pages, the frames backing guest page
+        tables, and the host (EPT) table frames to the free lists, so a
+        subsequent boot reuses them instead of exhausting the region.
+        This is the functional half of teardown only — callers that
+        simulate hardware must invalidate the VM's cached translations
+        first (:meth:`repro.core.system.Machine.destroy_vm` does both).
+        """
+        vm = self.vms.pop(vm_id, None)
+        if vm is None:
+            raise KeyError(f"vm {vm_id} does not exist")
+        small = large = 0
+        for frame, is_large in vm.host_frames():
+            self.memory.free_frame(frame, large=is_large)
+            if is_large:
+                large += 1
+            else:
+                small += 1
+        return FreedFrames(small=small, large=large)

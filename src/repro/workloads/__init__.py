@@ -2,6 +2,13 @@
 
 from . import analysis, graphgen, synthetic
 from .consolidation import ConsolidatedWorkload, VmAssignment, build_consolidation
+from .lifecycle import (
+    LifecycleEvent,
+    LifecycleWorkload,
+    build_churn,
+    build_migration,
+    build_shootdown_storm,
+)
 from .suite import BENCHMARKS, SUITE, BenchmarkProfile, Region, Workload, get_profile
 from .trace import (
     CoreStream,
@@ -17,13 +24,18 @@ __all__ = [
     "BenchmarkProfile",
     "ConsolidatedWorkload",
     "CoreStream",
+    "LifecycleEvent",
+    "LifecycleWorkload",
     "MemoryReference",
     "Region",
     "SUITE",
     "VmAssignment",
     "Workload",
     "analysis",
+    "build_churn",
     "build_consolidation",
+    "build_migration",
+    "build_shootdown_storm",
     "get_profile",
     "graphgen",
     "interleave",

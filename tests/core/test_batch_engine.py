@@ -278,3 +278,82 @@ def test_lexsort_order_matches_heap_merge():
     order = np.lexsort((src, cores, ic))
     lexsorted = [(int(ic[i]), int(cores[i]), int(va[i])) for i in order]
     assert lexsorted == merged
+
+
+# -- mid-run lifecycle events ----------------------------------------------
+#
+# The batch engine replays whole runs with no per-reference hook points,
+# so a run with scheduled mid-run events (shootdown storms, VM
+# teardowns) cannot batch soundly.  The contract: either the engine
+# would replay them bit-identically, or it declines with a recorded
+# ``batch_fallback_reason`` — never a silent divergence.
+
+
+def _storm_events(workload):
+    from repro.workloads.lifecycle import LifecycleEvent
+
+    # Past the warmup prologue, so the fired shootdowns survive the
+    # warmup-boundary stats reset and are visible in the results.
+    warmup_total = sum(workload.warmup_by_core.values()) or \
+        workload.warmup_references
+    target = workload.streams[0]
+    return [LifecycleEvent(position=warmup_total + 50, kind="shootdown",
+                           vm_id=target.vm_id, asid=target.asid,
+                           vaddr=target.references[-100].vaddr),
+            LifecycleEvent(position=warmup_total + 200, kind="shootdown",
+                           vm_id=target.vm_id, asid=target.asid,
+                           vaddr=target.references[-50].vaddr)]
+
+
+def test_events_force_scalar_with_recorded_reason():
+    profile, workload = _workload()
+    warm = workload.warmup_by_core or workload.warmup_references
+    events = _storm_events(workload)
+
+    batch_m = _machine(profile)
+    batched = batch_m.run(workload.streams, warmup_references=warm,
+                          events=events)
+    assert batch_m.last_replay_mode == "scalar"
+    assert batch_m.batch_fallback_reason == (
+        "mid-run lifecycle events scheduled")
+
+    scalar_m = _machine(profile, batch=False)
+    scalar = scalar_m.run(workload.streams, warmup_references=warm,
+                          events=events)
+    _assert_same(scalar, batched)
+    assert (batch_m.stats["mmu"]["shootdowns"]
+            == scalar_m.stats["mmu"]["shootdowns"] == 2)
+
+
+@needs_numpy
+def test_event_free_run_batches_after_declined_run():
+    """The decline is per run: the next event-free run batches again."""
+    profile, workload = _workload()
+    warm = workload.warmup_by_core or workload.warmup_references
+    packed = [pack_stream(s) for s in workload.streams]
+
+    machine = _machine(profile)
+    machine.run(packed, warmup_references=warm,
+                events=_storm_events(workload))
+    assert machine.last_replay_mode == "scalar"
+    machine.run(packed, warmup_references=warm)
+    assert machine.last_replay_mode == "batch"
+
+
+def test_destroy_vm_event_replays_identically():
+    """A mid-run teardown produces the same results however executed."""
+    from repro.workloads.lifecycle import LifecycleEvent
+
+    profile, workload = _workload()
+    warm = workload.warmup_by_core or workload.warmup_references
+    vm_id = workload.streams[0].vm_id
+    events = [LifecycleEvent(position=300, kind="destroy_vm", vm_id=vm_id)]
+
+    scalar_m = _machine(profile, batch=False)
+    scalar = scalar_m.run(workload.streams, warmup_references=warm,
+                          events=events)
+    batch_m = _machine(profile)
+    batched = batch_m.run(workload.streams, warmup_references=warm,
+                          events=events)
+    assert batch_m.last_replay_mode == "scalar"
+    _assert_same(scalar, batched)

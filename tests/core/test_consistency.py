@@ -91,6 +91,61 @@ class TestShootdownDropsBothSizes:
             assert not shadow.contains(key_large)
 
 
+class TestShootdownOfUnmappedPage:
+    """``Machine.shootdown`` after the mapping is gone drops both sizes.
+
+    The fallback used to assume ``large=False`` when the page could not
+    be resolved (the mapping was already unmapped — the common shootdown
+    ordering).  The size is unknowable then, so the invalidation must
+    drop *both* page sizes end-to-end; a THP page that was demoted and
+    unmapped would otherwise leave its large-size entry resident
+    forever.
+    """
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_large_entry_dropped_when_mapping_is_gone(self, scheme):
+        machine = make_machine(scheme)
+        va, vm, asid = 0x3000, 0, 1
+        machine.touch(vm, asid, 0x1000)  # boot the VM/process
+        # A large-page entry survives from before the (unmapped) page
+        # went away — e.g. a THP demotion the IPI is catching up with.
+        key_small, key_large = plant_both_sizes(machine.scheme,
+                                                vm=vm, asid=asid, va=va)
+        assert machine.host.vms[vm].resolve(asid, va) is None
+        machine.shootdown(vm, asid, va)
+        for tlbs in machine.scheme.cores:
+            assert not tlbs.l1_large.contains(key_large), \
+                "unmapped-page shootdown left the large-size L1 entry"
+            assert not tlbs.l2.contains(key_large), \
+                "unmapped-page shootdown left the large-size L2 entry"
+            assert not tlbs.l1_small.contains(key_small)
+            assert not tlbs.l2.contains(key_small)
+
+    def test_pom_backend_drops_both_sizes_when_unmapped(self):
+        machine = make_machine("pom")
+        pom = machine.scheme.pom
+        va, vm, asid = 0x3000, 0, 1
+        machine.touch(vm, asid, 0x1000)
+        key_small, key_large = plant_both_sizes(machine.scheme,
+                                                vm=vm, asid=asid, va=va)
+        pom.insert(va, key_small, TlbEntry(1), vm, False)
+        pom.insert(va, key_large, TlbEntry(1), vm, True)
+        machine.shootdown(vm, asid, va)
+        assert not pom.contains(va, key_small, vm, False)
+        assert not pom.contains(va, key_large, vm, True)
+
+    def test_native_shootdown_does_not_create_a_process(self):
+        """The native fallback resolved via ``_native_process`` — which
+        *creates* the process (allocating a root table frame) as a side
+        effect of what should be a pure invalidation."""
+        machine = Machine(SystemConfig(num_cores=1, virtualized=False),
+                          scheme="pom", seed=3)
+        before = machine.host.memory.bytes_allocated
+        machine.shootdown(0, 42, 0x5000)
+        assert 42 not in machine._native_processes
+        assert machine.host.memory.bytes_allocated == before
+
+
 class TestInvalidateVmReportsLines:
     """invalidate_vm must report the touched set/line addresses."""
 

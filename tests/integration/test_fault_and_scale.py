@@ -25,9 +25,15 @@ class TestFaultInjection:
             machine.walkers.walk(0, 0, 1, 0x1000)
 
     def test_shootdown_storm_stays_consistent(self):
-        """Unmap/remap churn must never leave stale translations behind."""
+        """Unmap/remap churn must never leave stale translations behind.
+
+        Unmap frees the frame and the LIFO free list hands it straight
+        back on remap, so the churn must not grow the allocator — and
+        the shot-down entry must be gone even though the *same* frame
+        comes back (address reuse is exactly when staleness would hide).
+        """
         machine = Machine(SystemConfig(num_cores=1), scheme="pom")
-        vm = None
+        baseline_bytes = None
         for round_number in range(30):
             va = 0x4000
             page = machine.touch(0, 1, va)
@@ -35,7 +41,11 @@ class TestFaultInjection:
             machine.host.vms[0].unmap(1, va)
             machine.shootdown(0, 1, va)
             fresh = machine.touch(0, 1, va)
-            assert fresh.host_frame != page.host_frame
+            assert fresh.host_frame == page.host_frame  # frame reclaimed
+            if baseline_bytes is None:
+                baseline_bytes = machine.host.memory.bytes_allocated
+            else:
+                assert machine.host.memory.bytes_allocated == baseline_bytes
             result = machine.scheme.translate(0, 0, 1, va, fresh)
             assert result.l2_miss  # stale entry never survives
         assert machine.stats["mmu"]["shootdowns"] == 30

@@ -82,11 +82,13 @@ class TestShootdownCoherence:
         va = 0x7000
         page = machine.touch(0, 1, va)
         machine.scheme.translate(0, 0, 1, va, page)
-        # OS unmaps, shoots down, and remaps the page elsewhere.
+        # OS unmaps, shoots down, and remaps the page.  The freed frame
+        # is reclaimed and comes straight back (LIFO reuse), which is
+        # the adversarial case: a stale entry would look "correct".
         old_frame = page.host_frame
         machine.host.vms[0].unmap(1, va)
         machine.scheme.shootdown(0, 1, va, large=page.large)
         new_page = machine.touch(0, 1, va)
-        assert new_page.host_frame != old_frame
+        assert new_page.host_frame == old_frame
         result = machine.scheme.translate(0, 0, 1, va, new_page)
         assert result.l2_miss  # stale entries are gone everywhere

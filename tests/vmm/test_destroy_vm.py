@@ -1,0 +1,162 @@
+"""VM teardown: Host.destroy_vm, Machine.destroy_vm, frame reclamation.
+
+The reclaim path this locks in: destroy_vm must (1) release every frame
+the guest owned — data pages, EPT table frames, guest page-table frames
+— back to the host free lists, (2) purge the VM from every translation
+structure (private TLBs, scheme backend, walkers/PSCs, cached backing
+lines), and (3) keep the allocator's conservation laws intact, so a
+boot/teardown loop holds ``bytes_allocated`` bounded instead of
+exhausting physical memory.
+"""
+
+import pytest
+
+from repro.common import addr
+from repro.common.config import SystemConfig
+from repro.core.mmu import _key_for
+from repro.core.system import Machine
+from repro.verify import Verifier
+from repro.vmm.thp import ThpPolicy
+from repro.vmm.vm import Host
+
+SCHEMES = ["baseline", "pom", "pom_skewed", "shared_l2", "tsb"]
+
+
+def boot_and_touch(machine, vm_id, pages=24, asid=1, core=0):
+    """Boot ``vm_id`` (first touch) and pull ``pages`` through the MMU."""
+    for i in range(pages):
+        va = 0x40000 + i * addr.SMALL_PAGE_SIZE
+        page = machine.touch(vm_id, asid, va)
+        machine.scheme.translate(core, vm_id, asid, va, page)
+
+
+class TestHostDestroyVm:
+    def test_destroy_releases_every_frame(self):
+        host = Host(memory_bytes=8 * addr.GiB)
+        vm = host.create_vm(1, ThpPolicy(0.5))
+        for i in range(32):
+            vm.touch(1, 0x100000 + i * addr.SMALL_PAGE_SIZE)
+        assert host.memory.bytes_allocated > 0
+        freed = host.destroy_vm(1)
+        assert 1 not in host.vms
+        assert host.memory.bytes_allocated == 0
+        assert freed.bytes > 0
+        assert freed.small > 0
+
+    def test_destroy_counts_both_sizes(self):
+        host = Host(memory_bytes=8 * addr.GiB)
+        vm = host.create_vm(1, ThpPolicy(1.0))
+        vm.touch(1, 0x40000000)  # large data page
+        freed = host.destroy_vm(1)
+        assert freed.large == 1
+        assert freed.small > 0  # table frames are 4KiB
+        assert freed.bytes == (freed.small * addr.SMALL_PAGE_SIZE
+                               + freed.large * addr.LARGE_PAGE_SIZE)
+
+    def test_destroy_unknown_vm_raises(self):
+        host = Host(memory_bytes=8 * addr.GiB)
+        with pytest.raises(KeyError, match="does not exist"):
+            host.destroy_vm(7)
+
+    def test_boot_teardown_loop_holds_memory_bounded(self):
+        host = Host(memory_bytes=8 * addr.GiB)
+        footprints = []
+        for generation in range(25):
+            vm = host.create_vm(1, ThpPolicy(0.5))
+            for i in range(16):
+                vm.touch(1, 0x100000 + i * addr.SMALL_PAGE_SIZE)
+            footprints.append(host.memory.bytes_allocated)
+            host.destroy_vm(1)
+            assert host.memory.bytes_allocated == 0
+        # Identical boots allocate identical footprints: bounded, and
+        # LIFO reuse means the bump pointer never advanced after gen 1.
+        assert len(set(footprints)) == 1
+        assert host.memory.peak_bytes == footprints[0]
+
+    def test_freed_frames_reused_before_fresh(self):
+        host = Host(memory_bytes=8 * addr.GiB)
+        vm = host.create_vm(1, ThpPolicy(0.0))
+        vm.touch(1, 0x100000)
+        first_frames = {hpa for hpa, _large in vm.host_frames()}
+        host.destroy_vm(1)
+        vm2 = host.create_vm(2, ThpPolicy(0.0))
+        vm2.touch(1, 0x100000)
+        second_frames = {hpa for hpa, _large in vm2.host_frames()}
+        assert second_frames == first_frames
+
+
+class TestMachineDestroyVm:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_destroyed_vm_absent_everywhere(self, scheme):
+        """No TLB, PSC/walker, backend or cache survives the teardown.
+
+        The verifier is armed, so the stale-line and memory-conservation
+        invariants check the backend lines and allocator balance; the
+        assertions below check the private structures explicitly.
+        """
+        machine = Machine(SystemConfig(num_cores=2), scheme=scheme,
+                          seed=3, verify=Verifier())
+        boot_and_touch(machine, vm_id=1)
+        boot_and_touch(machine, vm_id=2, core=1)
+        machine.destroy_vm(1)
+        assert 1 not in machine.host.vms
+        for tlbs in machine.scheme.cores:
+            for tlb in (tlbs.l1_small, tlbs.l1_large, tlbs.l2):
+                assert all(k.vm_id != 1 for k in tlb.keys())
+        assert all(key[1] != 1 for key in machine.walkers._walkers)
+
+    def test_destroy_reclaims_machine_memory(self):
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom",
+                          seed=3, verify=Verifier())
+        boot_and_touch(machine, vm_id=1)
+        before = machine.host.memory.bytes_allocated
+        assert before > 0
+        freed = machine.destroy_vm(1)
+        assert machine.host.memory.bytes_allocated == before - freed.bytes
+        assert machine.host.memory.bytes_allocated == 0
+
+    def test_survivor_vm_unaffected(self):
+        machine = Machine(SystemConfig(num_cores=2), scheme="pom", seed=3)
+        boot_and_touch(machine, vm_id=1)
+        boot_and_touch(machine, vm_id=2, core=1)
+        survivor_page = machine.host.vms[2].resolve(1, 0x40000)
+        machine.destroy_vm(1)
+        assert machine.host.vms[2].resolve(1, 0x40000) == survivor_page
+        key = _key_for(2, 1, 0x40000, survivor_page.large)
+        resident = any(tlbs.l2.contains(key)
+                       for tlbs in machine.scheme.cores)
+        assert resident, "survivor VM's translations must stay"
+
+    def test_destroy_in_native_mode_rejected(self):
+        machine = Machine(SystemConfig(num_cores=1, virtualized=False),
+                          scheme="pom")
+        with pytest.raises(ValueError, match="virtualized"):
+            machine.destroy_vm(0)
+
+    def test_destroy_unknown_vm_raises(self):
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom")
+        with pytest.raises(KeyError):
+            machine.destroy_vm(9)
+
+    def test_rebooted_vm_id_starts_cold(self):
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom",
+                          seed=3, verify=Verifier())
+        boot_and_touch(machine, vm_id=1, pages=4)
+        machine.destroy_vm(1)
+        # Same vm_id re-boots lazily on the next touch (migration
+        # arrival); it must re-fault, not inherit the dead VM's pages.
+        page = machine.touch(1, 1, 0x40000)
+        assert page is not None
+        assert len(machine.host.vms[1].processes[1].small_pages) == 1
+
+    def test_boot_teardown_churn_bounded_with_verifier(self):
+        machine = Machine(SystemConfig(num_cores=1), scheme="pom",
+                          seed=3, verify=Verifier())
+        samples = []
+        for generation in range(25):
+            boot_and_touch(machine, vm_id=1, pages=12)
+            machine.destroy_vm(1)
+            samples.append(machine.host.memory.bytes_allocated)
+        assert samples == [0] * 25
+        assert (machine.host.memory.peak_bytes
+                < machine.host.memory.size_bytes)

@@ -85,12 +85,18 @@ class TestUnmap:
         vm = make_vm()
         assert vm.unmap(1, 0x1000) is None
 
-    def test_retouch_after_unmap_allocates_fresh_frame(self):
+    def test_retouch_after_unmap_reuses_reclaimed_frame(self):
+        # unmap releases both frames; the LIFO free list hands them
+        # straight back on the retouch, so memory does not grow.
         vm = make_vm()
         old = vm.touch(1, 0x1000)
+        host_bytes = vm.host_memory.bytes_allocated
         vm.unmap(1, 0x1000)
+        assert vm.host_memory.bytes_allocated < host_bytes
         new = vm.touch(1, 0x1000)
-        assert new.host_frame != old.host_frame
+        assert new.host_frame == old.host_frame
+        assert new.guest_frame == old.guest_frame
+        assert vm.host_memory.bytes_allocated == host_bytes
 
 
 class TestNativeProcess:

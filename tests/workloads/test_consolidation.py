@@ -4,7 +4,8 @@ import pytest
 
 from repro.common.config import SystemConfig
 from repro.core.system import Machine
-from repro.workloads.consolidation import build_consolidation
+from repro.workloads.consolidation import (ConsolidatedWorkload,
+                                           build_consolidation)
 
 
 class TestBuildConsolidation:
@@ -35,6 +36,29 @@ class TestBuildConsolidation:
         wl = build_consolidation(["gcc", "gups"], refs_per_core=100,
                                  scale=0.03)
         assert wl.references == sum(len(s) for s in wl.streams)
+
+    def test_unknown_vm_error_names_known_ids(self):
+        wl = build_consolidation(["gcc", "gups"], refs_per_core=50,
+                                 scale=0.03)
+        with pytest.raises(KeyError, match=r"no VM 9.*\[1, 2\]"):
+            wl.thp_fraction_for(9)
+
+    def test_duplicate_vm_id_raises(self):
+        # __post_init__ must refuse: a silent duplicate would let one
+        # VM's THP policy shadow another's.
+        wl = build_consolidation(["gcc"], refs_per_core=50, scale=0.03)
+        with pytest.raises(ValueError, match="duplicate vm_id 1"):
+            ConsolidatedWorkload(
+                assignments=wl.assignments + [wl.assignments[0]],
+                streams=wl.streams,
+                warmup_references=wl.warmup_references)
+
+    def test_thp_fractions_mapping(self):
+        wl = build_consolidation(["gcc", "gups"], refs_per_core=50,
+                                 scale=0.03)
+        fractions = wl.thp_fractions()
+        assert set(fractions) == {1, 2}
+        assert fractions[1] == wl.thp_fraction_for(1)
 
 
 class TestConsolidatedSimulation:
